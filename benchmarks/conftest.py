@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every experiment bench renders its paper-style table and both prints it
+and appends it to ``benchmarks/out/<experiment>.txt``, so the
+regenerated rows survive pytest's output capturing.
+
+Environment knobs:
+
+* ``REPRO_TABLE3_SCALE`` -- fraction of each Table 3 sequence to run
+  (default 0.05; set to 1.0 for the full-length sequences).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """``save_report(name, text)`` -> prints and persists a report."""
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+    return _save
+
+
+@pytest.fixture(scope="session")
+def table3_scale() -> float:
+    return float(os.environ.get("REPRO_TABLE3_SCALE", "0.05"))

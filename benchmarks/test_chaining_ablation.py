@@ -1,0 +1,105 @@
+"""Ablation -- call chaining on the on-board memory.
+
+The paper identifies the PCI as the bottleneck and suggests replacing it
+with an on-chip bus; a cheaper step in the same direction is *chaining*:
+keep frames resident in the ZBT between AddressLib calls, ship only what
+changed.  This bench quantifies the effect on two realistic call chains.
+"""
+
+import pytest
+
+from repro.addresslib import (AddressLib, INTER_ABSDIFF, INTRA_BOX3,
+                              INTRA_GRAD, threshold_op)
+from repro.host import EngineBackend
+from repro.image import CIF, gradient_frame, checkerboard_frame
+from repro.perf import format_table
+
+
+def edge_mask_chain(lib, frame):
+    """gradient -> blur -> threshold: a 3-call intra pipeline where each
+    stage consumes the previous stage's result."""
+    edges = lib.intra(INTRA_GRAD, frame)
+    smooth = lib.intra(INTRA_BOX3, edges)
+    return lib.intra(threshold_op(32), smooth)
+
+
+def gme_sad_pattern(lib, reference, candidates):
+    """The GME inner loop: repeated SAD calls against one reference."""
+    return [lib.inter_reduce(INTER_ABSDIFF, reference, candidate)
+            for candidate in candidates]
+
+
+def total_seconds(lib):
+    return sum(r.extra["call_seconds"] for r in lib.log.records)
+
+
+def total_pci_words(lib):
+    return sum(r.extra["pci_words"] for r in lib.log.records)
+
+
+def test_chaining_on_intra_pipeline(benchmark, save_report):
+    frame = gradient_frame(CIF)
+    plain = AddressLib(EngineBackend())
+    chained = AddressLib(EngineBackend(chain_frames=True))
+
+    result_plain = edge_mask_chain(plain, frame)
+    result_chained = benchmark.pedantic(
+        lambda: edge_mask_chain(chained, frame), rounds=1, iterations=1)
+    assert result_plain.equals(result_chained)
+
+    saving_t = 1 - total_seconds(chained) / total_seconds(plain)
+    saving_w = 1 - total_pci_words(chained) / total_pci_words(plain)
+    # Stages 2-3 ship nothing *in* (results still come back per stage).
+    for record in chained.log.records[1:]:
+        assert record.extra["pci_words"] == 2 * CIF.pixels
+    assert saving_w == pytest.approx(1 / 3, abs=0.02)
+    assert saving_t > 0.15
+
+    save_report("chaining_pipeline", format_table(
+        ["configuration", "time", "PCI words"],
+        [("per-call round trips (v1 behaviour)",
+          f"{total_seconds(plain) * 1e3:.1f} ms",
+          int(total_pci_words(plain))),
+         ("chained on-board frames",
+          f"{total_seconds(chained) * 1e3:.1f} ms",
+          int(total_pci_words(chained))),
+         ("saving", f"{saving_t * 100:.0f}%", f"{saving_w * 100:.0f}%")],
+        title="Ablation -- chaining a 3-call edge-mask pipeline (CIF)"))
+
+
+def test_chaining_on_gme_sad_pattern(benchmark, save_report):
+    reference = gradient_frame(CIF)
+    candidates = [checkerboard_frame(CIF, cell=8 + 2 * i)
+                  for i in range(4)]
+    plain = AddressLib(EngineBackend())
+    chained = AddressLib(EngineBackend(chain_frames=True))
+
+    sads_plain = gme_sad_pattern(plain, reference, candidates)
+    sads_chained = benchmark.pedantic(
+        lambda: gme_sad_pattern(chained, reference, candidates),
+        rounds=1, iterations=1)
+    assert sads_plain == sads_chained
+
+    # After the first call the reference is resident: later SADs ship
+    # one image instead of two.
+    per_call_plain = [r.extra["pci_words"]
+                      for r in plain.log.records]
+    per_call_chained = [r.extra["pci_words"]
+                        for r in chained.log.records]
+    assert per_call_chained[0] == per_call_plain[0]
+    assert all(w == per_call_plain[0] - 2 * CIF.pixels
+               for w in per_call_chained[1:])
+
+    saving = 1 - total_seconds(chained) / total_seconds(plain)
+    assert saving > 0.25
+    save_report("chaining_gme_sad", format_table(
+        ["configuration", "time", "PCI words"],
+        [("reference reshipped per SAD",
+          f"{total_seconds(plain) * 1e3:.1f} ms",
+          int(total_pci_words(plain))),
+         ("reference kept resident",
+          f"{total_seconds(chained) * 1e3:.1f} ms",
+          int(total_pci_words(chained))),
+         ("saving", f"{saving * 100:.0f}%", "")],
+        title="Ablation -- chaining the GME SAD pattern "
+              "(1 reference, 4 candidates, CIF)"))

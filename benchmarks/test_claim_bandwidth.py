@@ -1,0 +1,93 @@
+"""Experiment C2 -- the section 4.1 bandwidth and overlap claims.
+
+* 'With this clock frequency a 264 Mbytes/s rate can be achieved between
+  every one of the 6 ZBT RAM banks and the FPGA.'
+* 'The effect in the timings due to the processing is insignificant
+  except for some special inter operations ... Even in this situation
+  the time wasted not due to the PCI transferences is a 12.5 % of the
+  time needed to transfer the images to the board.'
+* The PCI bus is the bottleneck of the system.
+"""
+
+import pytest
+
+from repro.addresslib import INTER_ABSDIFF, INTRA_GRAD
+from repro.core import AddressEngine, inter_config, intra_config
+from repro.image import CIF, ImageFormat, noise_frame
+from repro.perf import EngineTimingModel, format_table
+
+MODEL = EngineTimingModel()
+PAPER_SPECIAL_FRACTION = 0.125
+
+
+def test_claim_zbt_bank_bandwidth(benchmark, save_report):
+    rate = benchmark(MODEL.zbt_bank_bytes_per_second)
+    assert rate == 264_000_000
+    save_report("claim_zbt_bandwidth", format_table(
+        ["quantity", "measured", "paper"],
+        [("per-bank ZBT rate", f"{rate / 1e6:.0f} MB/s", "264 MB/s"),
+         ("bus clock", "66 MHz", "66 MHz"),
+         ("bus width", "32 bits", "32 bits")],
+        title="Claim C2 -- ZBT bank bandwidth at the design clock"))
+
+
+def test_claim_special_inter_fraction(benchmark, save_report):
+    """Cycle-simulated special inter call: the non-PCI share of the
+    input transfer time stays at the paper's 12.5 % bound."""
+    fmt = ImageFormat("C2", 176, 96)
+    a = noise_frame(fmt, seed=11)
+    b = noise_frame(fmt, seed=12)
+    engine = AddressEngine()
+    config = inter_config(INTER_ABSDIFF, fmt, reduce_to_scalar=True,
+                          requires_full_frames=True)
+
+    run = benchmark.pedantic(lambda: engine.run_call(config, a, b),
+                             rounds=1, iterations=1)
+    measured = run.non_pci_fraction_of_input
+    analytic_cif = MODEL.non_pci_fraction(
+        inter_config(INTER_ABSDIFF, CIF, reduce_to_scalar=True,
+                     requires_full_frames=True))
+    assert measured == pytest.approx(PAPER_SPECIAL_FRACTION, abs=0.03)
+    assert analytic_cif == pytest.approx(PAPER_SPECIAL_FRACTION, abs=0.01)
+
+    # Ordinary calls: the processing effect is 'insignificant'.
+    ordinary = engine.run_call(
+        inter_config(INTER_ABSDIFF, fmt, reduce_to_scalar=True), a, b)
+    assert ordinary.non_pci_fraction_of_input < 0.05
+
+    save_report("claim_special_inter", format_table(
+        ["case", "non-PCI fraction of input transfer", "paper"],
+        [("special inter (cycle sim, 176x96)", f"{measured:.4f}",
+          "0.125"),
+         ("special inter (analytic, CIF)", f"{analytic_cif:.4f}",
+          "0.125"),
+         ("ordinary inter (cycle sim)",
+          f"{ordinary.non_pci_fraction_of_input:.4f}",
+          "'insignificant'")],
+        title="Claim C2 -- time wasted not due to PCI transfers"))
+
+
+def test_claim_pci_is_the_bottleneck(benchmark, save_report):
+    """During an intra call the PCI moves a word nearly every cycle
+    while the datapath idles waiting for data: the bus saturates first."""
+    fmt = ImageFormat("C2b", 88, 64)
+    frame = noise_frame(fmt, seed=13)
+    engine = AddressEngine()
+
+    run = benchmark.pedantic(
+        lambda: engine.run_call(intra_config(INTRA_GRAD, fmt), frame),
+        rounds=1, iterations=1)
+    utilization = run.pci.utilization()
+    assert utilization > 0.90
+    # The PLC spends a large share of its ticks starved for IIM data --
+    # the engine could go faster, the bus cannot.
+    stats = run.plc_stats
+    assert stats.stall_iim_wait > stats.cycles * 0.3
+    save_report("claim_pci_bottleneck", format_table(
+        ["quantity", "value"],
+        [("PCI utilisation over the call", f"{utilization:.3f}"),
+         ("PLC cycles stalled on IIM data",
+          f"{stats.stall_iim_wait / stats.cycles:.3f}"),
+         ("engine fabric headroom (fmax / bus clock)",
+          f"{102.208 / 66:.2f}x")],
+        title="Claim C2 -- the PCI bus is the system bottleneck"))

@@ -1,0 +1,81 @@
+"""Experiment C1 -- the factor-30 profiling estimate (section 1).
+
+'Based on instruction level profiling of a video object segmentation
+algorithm the maximum achievable acceleration with AddressEngine is
+estimated as a factor of 30, taking into account that all high level
+parts of the algorithm are executed on the main CPU and only low level
+operations are executed on AddressEngine.'
+"""
+
+import pytest
+
+from repro.image import QCIF, blob_frame
+from repro.perf import format_table
+from repro.segmentation import profile_segmentation_workload
+
+PAPER_ESTIMATE = 30.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    frame = blob_frame(QCIF, [(40, 40), (120, 70), (60, 110)], radius=20)
+    return profile_segmentation_workload(frame)
+
+
+def test_claim_factor30(benchmark, save_report):
+    frame = blob_frame(QCIF, [(40, 40), (120, 70), (60, 110)], radius=20)
+    workload = benchmark.pedantic(profile_segmentation_workload, (frame,),
+                                  rounds=1, iterations=1)
+
+    bound = workload.amdahl_bound
+    assert bound == pytest.approx(PAPER_ESTIMATE, rel=0.35)
+    assert workload.offloadable_fraction > 0.95
+
+    rows = [
+        ("low-level (AddressLib) instructions",
+         f"{workload.low_level.total_instructions:.3e}"),
+        ("high-level (host) instructions",
+         f"{workload.high_level.total_instructions:.3e}"),
+        ("offloadable fraction",
+         f"{workload.offloadable_fraction:.4f}"),
+        ("Amdahl bound (max acceleration)", f"{bound:.1f}"),
+        ("paper estimate", f"{PAPER_ESTIMATE:.0f}"),
+        ("addressing share of low-level work",
+         f"{workload.addressing_fraction_of_low_level:.3f}"),
+    ]
+    save_report("claim_profiling", format_table(
+        ["quantity", "value"], rows,
+        title="Claim C1 -- instruction profile of the segmentation "
+              "workload and the factor-30 bound"))
+
+
+def test_claim_addressing_dominates_processing(workload, benchmark,
+                                               save_report):
+    """'Pixel address calculations are the dominant operations ...
+    exceeding even pixel processing.'"""
+    low = workload.low_level
+    benchmark(lambda: low.addressing_fraction)
+    assert low.addressing_instructions > 2 * low.processing_instructions
+    save_report("claim_addressing_split", format_table(
+        ["class group", "instructions", "share"],
+        [("addressing (addr/load/store/branch)",
+          f"{low.addressing_instructions:.3e}",
+          f"{low.addressing_fraction:.3f}"),
+         ("processing (alu/mul)",
+          f"{low.processing_instructions:.3e}",
+          f"{1 - low.addressing_fraction:.3f}")],
+        title="Claim C1 -- addressing vs processing inside the "
+              "offloadable work"))
+
+
+def test_claim_bound_scales_with_high_level_share(workload, benchmark):
+    """Sanity: adding host work lowers the bound (Amdahl direction)."""
+    from repro.addresslib import InstructionCost, OpProfile
+    heavier = benchmark(OpProfile)
+    heavier.merge(workload.high_level)
+    heavier.add_cost(InstructionCost(alu=workload.high_level
+                                     .total_instructions))
+    serial = 1 - (workload.low_level.total_instructions
+                  / (workload.low_level.total_instructions
+                     + heavier.total_instructions))
+    assert 1 / serial < workload.amdahl_bound

@@ -1,0 +1,114 @@
+"""Experiment F4 -- Figure 4: the one-cycle neighbourhood fetch
+(ablations D1/D3) and the startpipeline (ablation D5).
+
+The IIM's parallel line stores make even the worst case -- a 9-line
+neighbourhood perpendicular to the scan -- a single stage-2 fetch.  A
+serial-fetch design would pay one cycle per neighbourhood pixel.
+"""
+
+import pytest
+
+from repro.addresslib import COLUMN_9, CON_0, CON_8, INTRA_COPY, fir_op
+from repro.core import AddressEngine, intra_config
+from repro.image import ImageFormat, noise_frame
+from repro.perf import format_table
+
+FMT = ImageFormat("F4", 64, 64)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return noise_frame(FMT, seed=31)
+
+
+def test_fig4_one_cycle_fetch_across_neighbourhoods(benchmark,
+                                                    save_report, frame):
+    """Cycle counts are identical for CON_0, CON_8 and the 9-line
+    perpendicular column: neighbourhood size never serialises fetches."""
+    engine = AddressEngine()
+    configs = {
+        "CON_0 (1 pixel)": intra_config(INTRA_COPY, FMT),
+        "CON_8 (3x3)": intra_config(
+            fir_op("f4_box3", CON_8, [1] * 9, shift=3), FMT),
+        "COLUMN_9 (9 lines, perpendicular)": intra_config(
+            fir_op("f4_col9", COLUMN_9, [1] * 9, shift=3), FMT),
+    }
+    runs = {name: engine.run_call(config, frame)
+            for name, config in configs.items()}
+    cycles = {name: run.cycles for name, run in runs.items()}
+    assert len(set(cycles.values())) == 1
+
+    # Serial-fetch ablation: stage 2 would take one cycle per pixel of
+    # the neighbourhood; the extra cycles cannot hide behind the DMA
+    # once fetch demand exceeds the transfer rate.
+    rows = []
+    for name, run in runs.items():
+        size = {"CON_0 (1 pixel)": 1, "CON_8 (3x3)": 9,
+                "COLUMN_9 (9 lines, perpendicular)": 9}[name]
+        fetches = run.matrix_pixels_fetched
+        serial_stage2 = fetches  # one cycle per fetched pixel
+        parallel_stage2 = run.plc_stats.loads + run.plc_stats.shifts
+        rows.append((name, size, run.cycles, parallel_stage2,
+                     serial_stage2,
+                     f"{serial_stage2 / parallel_stage2:.1f}x"))
+    save_report("fig4_neighbourhood", format_table(
+        ["neighbourhood", "pixels", "call cycles", "stage-2 fetch ops",
+         "serial-fetch ops (ablation)", "fetch blowup"],
+        rows,
+        title="Figure 4 -- one-cycle neighbourhood fetch vs serial "
+              "fetching (ablations D1/D3)"))
+
+    benchmark.pedantic(
+        lambda: engine.run_call(configs["COLUMN_9 (9 lines, "
+                                        "perpendicular)"], frame),
+        rounds=1, iterations=1)
+
+
+def test_fig4_worst_case_refetches_everything(frame, benchmark,
+                                              save_report):
+    """Perpendicular to the scan, no pixel is reusable: the matrix
+    register refetches all nine pixels each step, yet the IIM supplies
+    them in one cycle."""
+    engine = AddressEngine()
+    col9 = benchmark.pedantic(
+        lambda: engine.run_call(intra_config(
+            fir_op("f4_col9b", COLUMN_9, [1] * 9, shift=3), FMT), frame),
+        rounds=1, iterations=1)
+    box3 = engine.run_call(intra_config(
+        fir_op("f4_box3b", CON_8, [1] * 9, shift=3), FMT), frame)
+    assert col9.matrix_pixels_fetched == 9 * FMT.pixels
+    assert box3.matrix_pixels_fetched < 0.5 * col9.matrix_pixels_fetched
+    save_report("fig4_reuse", format_table(
+        ["neighbourhood", "pixels fetched", "reuse"],
+        [("CON_8 along scan", box3.matrix_pixels_fetched,
+          f"{1 - box3.matrix_pixels_fetched / (9 * FMT.pixels):.2f}"),
+         ("COLUMN_9 perpendicular", col9.matrix_pixels_fetched, "0.00")],
+        title="Figure 4 -- pixel reuse collapses in the perpendicular "
+              "worst case"))
+
+
+def test_fig4_startpipeline_ablation(frame, benchmark, save_report):
+    """Ablation D5: a PLC that issues one pixel-cycle per clock (no
+    startpipeline overlap) slows the drain phases; the full design's
+    special-inter tail would double."""
+    fast = AddressEngine(plc_ticks_per_cycle=2)
+    slow = AddressEngine(plc_ticks_per_cycle=1)
+    from repro.addresslib import INTER_ABSDIFF
+    from repro.core import inter_config
+    config = inter_config(INTER_ABSDIFF, FMT, reduce_to_scalar=True,
+                          requires_full_frames=True)
+    b = noise_frame(FMT, seed=32)
+    run_fast = benchmark.pedantic(
+        lambda: fast.run_call(config, frame, b), rounds=1, iterations=1)
+    run_slow = slow.run_call(config, frame, b)
+    tail_fast = run_fast.cycles - run_fast.input_complete_cycle
+    tail_slow = run_slow.cycles - run_slow.input_complete_cycle
+    assert tail_slow > 1.7 * tail_fast
+    save_report("fig4_startpipeline", format_table(
+        ["design", "post-input tail (cycles)", "non-PCI fraction"],
+        [("startpipeline (2 pixel-cycles/clock)", tail_fast,
+          f"{run_fast.non_pci_fraction_of_input:.3f}"),
+         ("ablation: single issue", tail_slow,
+          f"{run_slow.non_pci_fraction_of_input:.3f}")],
+        title="Ablation D5 -- the startpipeline halves the exposed "
+              "processing tail"))

@@ -1,0 +1,69 @@
+"""Experiment T1 -- Table 1: device utilisation and timing summary.
+
+Regenerates the paper's ISE synthesis summary from the structural
+resource estimator and checks every row against the published values.
+"""
+
+import pytest
+
+from repro.core import total_resources, v1_module_inventory, \
+    v1_utilization_report
+from repro.perf import format_table
+
+#: Table 1 as printed in the paper.
+PAPER_ROWS = (
+    ("Number of Slices", 564, 14336, 3),
+    ("Number of Slice Flip Flops", 216, 28672, 0),
+    ("Number of 4 input LUTs", 349, 28672, 1),
+    ("Number of bonded IOBs", 60, 720, 8),
+    ("Number of BRAMs", 29, 96, 30),
+    ("Number of GCLKs", 1, 16, 6),
+)
+PAPER_MIN_PERIOD_NS = 9.784
+PAPER_MAX_FREQ_MHZ = 102.208
+
+
+def test_table1_device_utilization(benchmark, save_report):
+    report = benchmark(v1_utilization_report)
+
+    rows = []
+    for (name, used, available, percent), measured in zip(
+            PAPER_ROWS, report.rows()):
+        m_name, m_used, m_avail, m_percent = measured
+        assert m_name == name
+        assert m_used == used, name
+        assert m_avail == available, name
+        assert int(m_percent) == percent, name
+        rows.append((name, m_used, used, m_avail, f"{int(m_percent)}%"))
+
+    timing = report.timing
+    assert timing.min_period_ns == pytest.approx(PAPER_MIN_PERIOD_NS,
+                                                 abs=1e-3)
+    assert timing.max_frequency_mhz == pytest.approx(PAPER_MAX_FREQ_MHZ,
+                                                     abs=0.01)
+
+    table = format_table(
+        ["resource", "measured", "paper", "available", "util"],
+        rows, title="Table 1 -- device utilisation (2v3000ff1152-5)")
+    table += ("\n\nTiming: minimum period "
+              f"{timing.min_period_ns:.3f} ns (paper "
+              f"{PAPER_MIN_PERIOD_NS} ns), max frequency "
+              f"{timing.max_frequency_mhz:.3f} MHz (paper "
+              f"{PAPER_MAX_FREQ_MHZ} MHz)")
+    table += "\n\n" + report.render()
+    save_report("table1_resources", table)
+
+
+def test_table1_bram_breakdown(benchmark, save_report):
+    """The per-module decomposition behind the headline 29 BRAMs."""
+    modules = benchmark(v1_module_inventory)
+    rows = [(m.name, m.resources.slices, m.resources.flip_flops,
+             m.resources.luts, m.resources.brams)
+            for m in modules]
+    totals = total_resources(modules)
+    rows.append(("TOTAL", totals.slices, totals.flip_flops, totals.luts,
+                 totals.brams))
+    assert totals.brams == 29
+    save_report("table1_modules", format_table(
+        ["module", "slices", "FFs", "LUTs", "BRAMs"], rows,
+        title="Table 1 -- per-module structural estimate"))

@@ -1,0 +1,74 @@
+"""A tour of the coprocessor: one call under the cycle-level microscope.
+
+Runs a single intra call through the full AddressEngine model and prints
+what every Figure 2 block did: DMA strips over the PCI, transmission
+units feeding the IIM, the four-stage Process Unit with its LOAD/SHIFT
+reuse, the OIM, the result-bank switch and the interrupts -- plus the
+Table 1 resource bill of the design that did the work.
+
+Run:  python examples/coprocessor_tour.py
+"""
+
+from repro.addresslib import INTRA_GRAD
+from repro.core import (AddressEngine, intra_config,
+                        v1_utilization_report)
+from repro.image import ImageFormat, noise_frame
+from repro.perf import format_table
+
+
+def main() -> None:
+    fmt = ImageFormat("TOUR", 96, 96)
+    frame = noise_frame(fmt, seed=2005)
+    engine = AddressEngine()
+    config = intra_config(INTRA_GRAD, fmt)
+
+    run = engine.run_call(config, frame)
+    golden = AddressEngine.run_functional(config, frame)
+    assert run.frame.equals(golden)
+
+    stats = run.plc_stats
+    print(format_table(["quantity", "value"], [
+        ("frame", f"{fmt.width}x{fmt.height} ({fmt.pixels} pixels, "
+                  f"{fmt.strips} strips)"),
+        ("operation", config.op_name),
+        ("total cycles @ 66 MHz", run.cycles),
+        ("wall time", f"{run.seconds * 1e3:.2f} ms"),
+        ("input transfer complete at", run.input_complete_cycle),
+        ("PCI words moved", run.pci.words_to_board
+         + run.pci.words_to_host),
+        ("PCI utilisation", f"{run.pci.utilization():.3f}"),
+        ("interrupts raised", len(run.pci.interrupts)),
+    ], title="call overview"))
+
+    print()
+    print(format_table(["pipeline quantity", "value"], [
+        ("pixel-cycles issued / retired",
+         f"{stats.issued_pixel_cycles} / {stats.retired_pixel_cycles}"),
+        ("matrix LOADs (row starts)", run.matrix_loads),
+        ("matrix SHIFTs (reuse steps)", run.matrix_shifts),
+        ("pixels fetched into the matrix", run.matrix_pixels_fetched),
+        ("fetches saved by reuse",
+         9 * fmt.pixels - run.matrix_pixels_fetched),
+        ("stalls: waiting for IIM data", stats.stall_iim_wait),
+        ("stalls: OIM full", stats.stall_oim_full),
+        ("stalls: multi-cycle op busy", stats.stall_op_busy),
+        ("OIM peak occupancy (pixels)", run.oim_peak_pixels),
+    ], title="Process Unit / PLC (Figures 5 and 6)"))
+
+    print()
+    txu = run.output_txu
+    print(format_table(["memory quantity", "value"], [
+        ("ZBT word accesses", run.zbt.word_accesses),
+        ("ZBT pixel access operations (Table 2 metric)",
+         run.zbt_pixel_ops),
+        ("result words in Res_block_A", txu.bank_words[0]),
+        ("result words in Res_block_B (after the switch)",
+         txu.bank_words[1]),
+    ], title="ZBT memory (Figure 3)"))
+
+    print()
+    print(v1_utilization_report().render())
+
+
+if __name__ == "__main__":
+    main()

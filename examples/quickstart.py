@@ -1,0 +1,73 @@
+"""Quickstart: AddressLib calls on the software and coprocessor backends.
+
+The deployment model of the paper in a dozen lines: write the algorithm
+against AddressLib once, then choose where the pixel work runs -- the
+host CPU or the AddressEngine -- by swapping the backend.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.addresslib import (AddressLib, ChannelSet, INTER_ABSDIFF,
+                              INTRA_BOX3, INTRA_GRAD)
+from repro.host import EngineBackend
+from repro.image import CIF, checkerboard_frame, gradient_frame
+from repro.perf import EngineTimingModel, PENTIUM_M_1600, format_table
+
+
+def main() -> None:
+    frame_a = gradient_frame(CIF)
+    frame_b = checkerboard_frame(CIF, cell=16)
+
+    # --- 1. Pure software -------------------------------------------------
+    software = AddressLib()
+    edges = software.intra(INTRA_GRAD, frame_a)
+    smooth = software.intra(INTRA_BOX3, frame_b, ChannelSet.YUV)
+    difference = software.inter(INTER_ABSDIFF, frame_a, frame_b)
+    sad = software.inter_reduce(INTER_ABSDIFF, frame_a, frame_b)
+
+    print("software backend:")
+    print(f"  gradient:   mean edge strength {edges.y.mean():.2f}")
+    print(f"  box filter: luma variance {frame_b.y.std():.1f} -> "
+          f"{smooth.y.std():.1f}")
+    print(f"  difference: mean abs diff {difference.y.mean():.2f}")
+    print(f"  SAD:        {sad}")
+    print(f"  calls made: {software.log.intra_calls} intra, "
+          f"{software.log.inter_calls} inter")
+
+    # --- 2. Same code, coprocessor backend --------------------------------
+    engine = AddressLib(EngineBackend())
+    edges_hw = engine.intra(INTRA_GRAD, frame_a)
+    sad_hw = engine.inter_reduce(INTER_ABSDIFF, frame_a, frame_b)
+    assert edges_hw.equals(edges), "backends must agree bit-exactly"
+    assert sad_hw == sad
+
+    # --- 3. What did each platform pay? ------------------------------------
+    # Three cost views of the same CIF gradient call: the tight
+    # AddressLib C library, the MPEG-7 XM style code the paper's Table 3
+    # baseline actually ran, and the coprocessor.
+    from repro.gme import xm_cost_model
+    from repro.addresslib import INTRA_GRAD as GRAD_OP
+    timing = EngineTimingModel()
+    tight = PENTIUM_M_1600.seconds(
+        software.log.records[0].profile)
+    xm = PENTIUM_M_1600.seconds(
+        xm_cost_model().intra_profile(GRAD_OP, CIF))
+    hw = engine.log.records[0].extra["call_seconds"]
+    rows = [
+        ("AddressLib C library", "Pentium M 1.6 GHz",
+         f"{tight * 1e3:.2f} ms"),
+        ("MPEG-7 XM accessors (Table 3 baseline)", "Pentium M 1.6 GHz",
+         f"{xm * 1e3:.2f} ms"),
+        ("AddressEngine", "66 MHz PCI coprocessor",
+         f"{hw * 1e3:.2f} ms"),
+    ]
+    print()
+    print(format_table(["implementation", "platform", "time"], rows,
+                       title="one intra gradient call on CIF"))
+    print(f"\nengine vs XM baseline: {xm / hw:.1f}x faster "
+          f"(Table 3's regime); both backends produced identical "
+          f"images -- only the backend changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Video surveillance: motion detection plus object segmentation.
+
+The paper's motivating application class (section 1: 'video surveillance
+and driver assistance').  A static camera watches a scene; an object
+moves through it.  The pipeline is pure AddressLib:
+
+1. **inter** absolute difference between the current frame and the
+   background -- the difference picture;
+2. **intra** box filter + threshold -- a clean motion mask in Aux;
+3. **segment** addressing seeded inside the motion region -- the moving
+   object's exact shape, grown in geodesic order;
+4. **segment-indexed** statistics -- area, centroid box, mean intensity
+   per object, accumulated in the side table.
+
+Run:  python examples/surveillance.py
+"""
+
+import numpy as np
+
+from repro.addresslib import (AddressLib, INTER_ABSDIFF, INTRA_BOX3,
+                              luma_band_criterion, threshold_op)
+from repro.host import EngineBackend
+from repro.image import QCIF, blob_frame, textured_panorama, frame_from_luma
+from repro.perf import format_table
+
+
+def scene_with_object(position):
+    """The watched scene with a bright object at ``position``."""
+    background = textured_panorama(QCIF.width, QCIF.height, seed=42) * 0.4
+    frame = frame_from_luma(QCIF, background)
+    if position is not None:
+        blob = blob_frame(QCIF, [position], radius=9, inside=230,
+                          outside=0)
+        frame.y[:] = np.maximum(frame.y, blob.y)
+    return frame
+
+
+def main() -> None:
+    lib = AddressLib(EngineBackend())   # inter/intra offloaded; segment
+    # addressing falls back to software (the v1 hardware limitation).
+    background = scene_with_object(None)
+
+    detections = []
+    for step, position in enumerate([(40, 50), (70, 58), (100, 66)]):
+        frame = scene_with_object(position)
+
+        # 1. difference picture against the background (inter).
+        difference = lib.inter(INTER_ABSDIFF, frame, background)
+        # 2. denoise + binarise (intra).
+        smooth = lib.intra(INTRA_BOX3, difference)
+        mask = lib.intra(threshold_op(60), smooth)
+
+        # 3. seed a segment at the strongest response and grow it over
+        #    the bright object in the *original* frame.
+        ys, xs = np.nonzero(mask.y)
+        seed = (int(xs[len(xs) // 2]), int(ys[len(ys) // 2]))
+        result = lib.segment(frame, [seed],
+                             luma_band_criterion(230, 60))
+
+        # 4. per-object statistics from the indexed side table.
+        stats = result.statistics
+        box = stats.bounding_box(0)
+        detections.append((step, seed, stats.area(0),
+                           f"{stats.mean_luma(0):.0f}",
+                           f"({box[0]},{box[1]})-({box[2]},{box[3]})"))
+
+    print(format_table(
+        ["frame", "seed", "object area", "mean luma", "bounding box"],
+        detections, title="surveillance detections (moving object)"))
+
+    log = lib.log
+    print(f"\nAddressLib calls: {log.intra_calls} intra "
+          f"(engine), {log.inter_calls} inter (engine), "
+          f"{log.total_calls - log.intra_calls - log.inter_calls} "
+          f"segment/indexed (software fallback)")
+
+    # The object should drift rightwards across the three frames.
+    xs = [d[1][0] for d in detections]
+    assert xs == sorted(xs)
+    print("object track is monotone rightward -- detection consistent "
+          "with the scripted motion")
+
+
+if __name__ == "__main__":
+    main()

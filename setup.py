@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work in offline
+environments where the ``wheel`` package (needed for PEP 660 editable
+installs) is unavailable.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

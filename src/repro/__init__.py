@@ -1,0 +1,40 @@
+"""repro: a reproduction of "A Coprocessor for Accelerating Visual
+Information Processing" (Stechele et al., DATE 2005).
+
+The package rebuilds the paper's whole system in Python:
+
+* :mod:`repro.image` -- the 64-bit pixel / QCIF / CIF frame substrate;
+* :mod:`repro.addresslib` -- AddressLib: the four structured pixel
+  addressing schemes and the pixel sub-function algebra;
+* :mod:`repro.core` -- the AddressEngine: a cycle-level model of the FPGA
+  coprocessor (ZBT, PCI/DMA, IIM/OIM, Process Unit, PLC, ILC) plus the
+  structural resource estimator behind Table 1;
+* :mod:`repro.host` -- the host driver, the engine-backed AddressLib
+  backend and the evaluation platforms;
+* :mod:`repro.perf` -- CPU and engine timing models, memory accounting;
+* :mod:`repro.gme` -- the MPEG-7 global motion estimation / mosaicing
+  evaluation workload (Table 3);
+* :mod:`repro.segmentation` -- the video object segmentation substrate
+  behind the factor-30 profiling estimate.
+
+Quick start::
+
+    from repro.image import CIF, gradient_frame
+    from repro.addresslib import AddressLib, INTRA_GRAD
+    from repro.host import EngineBackend
+
+    lib = AddressLib(EngineBackend())          # offload to the coprocessor
+    edges = lib.intra(INTRA_GRAD, gradient_frame(CIF))
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "addresslib",
+    "core",
+    "gme",
+    "host",
+    "image",
+    "perf",
+    "segmentation",
+]

@@ -1,0 +1,140 @@
+"""Composite operations: chains of AddressLib calls.
+
+Paper section 2.2: *"These sub-functions can be combined to form more
+complex operations, e.g. luminance/chrominance difference between
+neighboring pixels for homogeneity check, or morphological gradient
+operations."*  Single-call compositions live in :mod:`repro.addresslib.ops`
+(homogeneity, morphological gradient); this module provides the
+*multi-call* compositions -- each stage is a full AddressLib call, so a
+chain runs unchanged on either backend and every stage lands in the call
+log.
+
+Provided chains:
+
+* morphological **opening** / **closing** (erode-dilate pairs);
+* **top-hat** (image minus its opening: small bright structures);
+* **unsharp masking** (edge-boosted sharpening);
+* **temporal smoothing** (running average of a frame sequence);
+* **motion mask** (difference picture, smoothing, binarisation -- the
+  surveillance front end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..image.frame import Frame
+from .addressing import Neighbourhood, CON_8
+from .library import AddressLib
+from .ops import (ChannelSet, INTER_ABSDIFF, INTER_AVG, INTER_SUB,
+                  INTRA_BOX3, dilate_op, erode_op, threshold_op)
+
+
+def opening(lib: AddressLib, frame: Frame,
+            neighbourhood: Neighbourhood = CON_8,
+            channels: ChannelSet = ChannelSet.Y) -> Frame:
+    """Morphological opening: erosion then dilation (two intra calls).
+
+    Removes bright structures smaller than the structuring element while
+    preserving the larger shapes.
+    """
+    eroded = lib.intra(erode_op(neighbourhood), frame, channels)
+    return lib.intra(dilate_op(neighbourhood), eroded, channels)
+
+
+def closing(lib: AddressLib, frame: Frame,
+            neighbourhood: Neighbourhood = CON_8,
+            channels: ChannelSet = ChannelSet.Y) -> Frame:
+    """Morphological closing: dilation then erosion (two intra calls).
+
+    Fills dark gaps smaller than the structuring element.
+    """
+    dilated = lib.intra(dilate_op(neighbourhood), frame, channels)
+    return lib.intra(erode_op(neighbourhood), dilated, channels)
+
+
+def top_hat(lib: AddressLib, frame: Frame,
+            neighbourhood: Neighbourhood = CON_8,
+            channels: ChannelSet = ChannelSet.Y) -> Frame:
+    """White top-hat: the frame minus its opening (three calls).
+
+    Isolates bright details smaller than the structuring element --
+    classic small-object / highlight detection.
+    """
+    opened = opening(lib, frame, neighbourhood, channels)
+    return lib.inter(INTER_SUB, frame, opened, channels)
+
+
+def unsharp_mask(lib: AddressLib, frame: Frame,
+                 channels: ChannelSet = ChannelSet.Y) -> Frame:
+    """Unsharp masking: frame + (frame - blur), saturating (three calls).
+
+    The high-frequency residue of the box blur is added back, boosting
+    edges.  Implemented with saturating sub/add, so the result stays a
+    valid 8-bit image.
+    """
+    from .ops import INTER_ADD
+    blurred = lib.intra(INTRA_BOX3, frame, channels)
+    residue = lib.inter(INTER_SUB, frame, blurred, channels)
+    return lib.inter(INTER_ADD, frame, residue, channels)
+
+
+def temporal_smooth(lib: AddressLib, frames: Iterable[Frame],
+                    channels: ChannelSet = ChannelSet.Y) -> Optional[Frame]:
+    """Running average over a frame sequence (one inter call per frame).
+
+    Each step averages the accumulator with the next frame -- an
+    exponentially weighted smoothing with factor 1/2, the cheap recursive
+    background estimator used by change-detection front ends.
+    """
+    accumulator: Optional[Frame] = None
+    for frame in frames:
+        if accumulator is None:
+            accumulator = frame.copy()
+        else:
+            accumulator = lib.inter(INTER_AVG, accumulator, frame,
+                                    channels)
+    return accumulator
+
+
+@dataclass(frozen=True)
+class MotionMaskSettings:
+    """Tunables of the motion-mask front end."""
+
+    threshold: int = 40
+    #: Post-threshold opening to remove speckle (None disables it).
+    despeckle: Optional[Neighbourhood] = CON_8
+
+
+def motion_mask(lib: AddressLib, frame: Frame, background: Frame,
+                settings: Optional[MotionMaskSettings] = None) -> Frame:
+    """The surveillance front end as one composition (3-6 calls).
+
+    Difference picture against the background (inter), box smoothing
+    (intra), binarisation (intra) and optional morphological despeckling
+    (two intra calls).  The returned frame's Y plane is the 0/255 mask.
+    """
+    settings = settings or MotionMaskSettings()
+    difference = lib.inter(INTER_ABSDIFF, frame, background)
+    smooth = lib.intra(INTRA_BOX3, difference)
+    mask = lib.intra(threshold_op(settings.threshold), smooth)
+    if settings.despeckle is not None:
+        mask = opening(lib, mask, settings.despeckle)
+    return mask
+
+
+def call_count_of(chain_name: str) -> int:
+    """Calls each provided chain makes per invocation (for planning)."""
+    counts = {
+        "opening": 2,
+        "closing": 2,
+        "top_hat": 3,
+        "unsharp_mask": 3,
+        "motion_mask": 5,       # with default despeckling
+    }
+    try:
+        return counts[chain_name]
+    except KeyError:
+        raise KeyError(f"unknown chain {chain_name!r}; known: "
+                       f"{', '.join(sorted(counts))}") from None

@@ -1,0 +1,306 @@
+"""Software executors for AddressLib calls.
+
+Two executors implement the same call semantics at different granularity:
+
+* :class:`VectorExecutor` -- bulk numpy execution on packed
+  :class:`~repro.image.frame.Frame` objects.  This is the fast functional
+  path used by applications (GME, segmentation) and by the engine model's
+  golden reference.
+* :class:`CountedExecutor` -- a faithful per-pixel walk over the software
+  baseline's planar 4:2:0 store, performing exactly the memory accesses
+  the AddressLib C implementation would: serpentine scan with sliding
+  neighbourhood reuse, so each step reads only the window's leading edge.
+  Its access counts are the *software* column of Table 2.
+
+:class:`SoftwareCostModel` computes the analytic instruction profile of a
+call (validated against :class:`CountedExecutor` by tests); it feeds the
+Pentium-M timing model behind Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..image.formats import ImageFormat
+from ..image.frame import Frame
+from ..image.pixel import Channel
+from ..image.planar import SUBSAMPLED_CHANNELS, PlanarFrame420
+from .addressing import Neighbourhood, ScanOrder
+from .ops import ChannelSet, InterOp, IntraOp
+from .profiling import InstructionCost, OpProfile
+
+#: Map from channel-set names to packed-frame channels.
+_CHANNEL_BY_NAME = {"Y": Channel.Y, "U": Channel.U, "V": Channel.V}
+
+
+def channels_of(channel_set: ChannelSet) -> Tuple[Channel, ...]:
+    """The packed-frame channels a :class:`ChannelSet` touches."""
+    return tuple(_CHANNEL_BY_NAME[name]
+                 for name in channel_set.channel_names)
+
+
+def plane_pixels_420(fmt: ImageFormat, channel: Channel) -> int:
+    """Pixels of ``channel``'s plane in the software 4:2:0 layout."""
+    if channel in SUBSAMPLED_CHANNELS:
+        return (-(-fmt.width // 2)) * (-(-fmt.height // 2))
+    return fmt.pixels
+
+
+# ---------------------------------------------------------------------------
+# Vectorised functional executor
+# ---------------------------------------------------------------------------
+
+def _clamped_shift(plane: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    """The plane shifted so element (y, x) holds plane[y+dy, x+dx], borders
+    replicated (the AddressLib clamp policy)."""
+    height, width = plane.shape
+    pad_y = abs(dy)
+    pad_x = abs(dx)
+    padded = np.pad(plane, ((pad_y, pad_y), (pad_x, pad_x)), mode="edge")
+    return padded[pad_y + dy:pad_y + dy + height,
+                  pad_x + dx:pad_x + dx + width]
+
+
+def neighbourhood_stack(plane: np.ndarray,
+                        neighbourhood: Neighbourhood) -> np.ndarray:
+    """Stack of clamped-shifted planes, one per neighbourhood offset."""
+    return np.stack([_clamped_shift(plane, dx, dy)
+                     for dx, dy in neighbourhood.offsets])
+
+
+class VectorExecutor:
+    """Bulk numpy execution of inter/intra calls on packed frames."""
+
+    @staticmethod
+    def inter(op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> Frame:
+        """Elementwise ``op`` over two equal-format frames."""
+        if frame_a.format.pixels != frame_b.format.pixels or \
+                frame_a.width != frame_b.width:
+            raise ValueError(
+                f"inter call needs equal formats, got {frame_a.format} "
+                f"vs {frame_b.format}")
+        result = frame_a.copy()
+        for channel in channels_of(channels):
+            result.plane(channel)[:] = op.apply_vector(
+                frame_a.plane(channel), frame_b.plane(channel))
+        return result
+
+    @staticmethod
+    def intra(op: IntraOp, frame: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> Frame:
+        """Neighbourhood ``op`` over one frame, borders clamped."""
+        result = frame.copy()
+        for channel in channels_of(channels):
+            stack = neighbourhood_stack(frame.plane(channel),
+                                        op.neighbourhood)
+            result.plane(channel)[:] = op.apply_vector(stack)
+        return result
+
+    @staticmethod
+    def inter_reduce(op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet = ChannelSet.Y) -> int:
+        """Sum of the elementwise results (e.g. SAD with ``INTER_ABSDIFF``)."""
+        total = 0
+        for channel in channels_of(channels):
+            values = op.apply_vector(frame_a.plane(channel),
+                                     frame_b.plane(channel))
+            total += int(values.astype(np.int64).sum())
+        return total
+
+    @staticmethod
+    def histogram(frame: Frame, channel: Channel = Channel.Y) -> np.ndarray:
+        """256-bin histogram of one channel (a stage-3 'histogram' op whose
+        output goes to an indexed table rather than to pixels)."""
+        return np.bincount(frame.plane(channel).reshape(-1).astype(np.int64),
+                           minlength=256)[:256]
+
+
+# ---------------------------------------------------------------------------
+# Counted per-pixel executor (the Table 2 software model)
+# ---------------------------------------------------------------------------
+
+def serpentine_positions(width: int, height: int,
+                         order: ScanOrder = ScanOrder.HORIZONTAL
+                         ) -> Iterator[Tuple[int, int]]:
+    """Boustrophedon scan: alternate direction each line (or column).
+
+    The sliding window then moves by exactly one pixel at every step, so
+    neighbourhood reuse carries across line boundaries -- the steady-state
+    access pattern Table 2's software numbers assume.
+    """
+    if order is ScanOrder.HORIZONTAL:
+        for y in range(height):
+            xs = range(width) if y % 2 == 0 else range(width - 1, -1, -1)
+            for x in xs:
+                yield x, y
+    else:
+        for x in range(width):
+            ys = range(height) if x % 2 == 0 else range(height - 1, -1, -1)
+            for y in ys:
+                yield x, y
+
+
+class CountedExecutor:
+    """Per-pixel software execution with genuine counted memory accesses.
+
+    Operates on :class:`~repro.image.planar.PlanarFrame420` stores.  Each
+    channel plane is processed independently at its own resolution (the way
+    planar software iterates), with a sliding window that reloads only the
+    offsets not covered by the previous window position.
+    """
+
+    def __init__(self, scan: ScanOrder = ScanOrder.HORIZONTAL) -> None:
+        self.scan = scan
+
+    # -- inter ---------------------------------------------------------------
+
+    def inter(self, op: InterOp, frame_a: PlanarFrame420,
+              frame_b: PlanarFrame420, output: PlanarFrame420,
+              channels: ChannelSet = ChannelSet.Y) -> None:
+        """Counted elementwise op: per plane, read a, read b, write result."""
+        for channel in channels_of(channels):
+            width, height = self._plane_dims(frame_a, channel)
+            for x, y in serpentine_positions(width, height, self.scan):
+                fx, fy = self._full_res(channel, x, y)
+                a = frame_a.read(channel, fx, fy)
+                b = frame_b.read(channel, fx, fy)
+                output.write(channel, fx, fy, op.apply_scalar(a, b))
+
+    # -- intra ---------------------------------------------------------------
+
+    def intra(self, op: IntraOp, frame: PlanarFrame420,
+              output: PlanarFrame420,
+              channels: ChannelSet = ChannelSet.Y) -> None:
+        """Counted neighbourhood op with sliding-window reuse per plane."""
+        for channel in channels_of(channels):
+            self._intra_plane(op, frame, output, channel)
+
+    def _intra_plane(self, op: IntraOp, frame: PlanarFrame420,
+                     output: PlanarFrame420, channel: Channel) -> None:
+        width, height = self._plane_dims(frame, channel)
+        offsets = op.neighbourhood.offsets
+        window: Dict[Tuple[int, int], int] = {}
+        previous: Optional[Tuple[int, int]] = None
+        for x, y in serpentine_positions(width, height, self.scan):
+            if previous is None:
+                fresh = offsets
+                shifted: Dict[Tuple[int, int], int] = {}
+            else:
+                step = (x - previous[0], y - previous[1])
+                shifted = {}
+                for off, value in window.items():
+                    moved = (off[0] - step[0], off[1] - step[1])
+                    if moved in op.neighbourhood.offsets:
+                        shifted[moved] = value
+                fresh = tuple(off for off in offsets if off not in shifted)
+            for dx, dy in fresh:
+                cx = min(max(x + dx, 0), width - 1)
+                cy = min(max(y + dy, 0), height - 1)
+                fx, fy = self._full_res(channel, cx, cy)
+                shifted[(dx, dy)] = frame.read(channel, fx, fy)
+            window = shifted
+            values = [window[off] for off in offsets]
+            fx, fy = self._full_res(channel, x, y)
+            output.write(channel, fx, fy, op.apply_scalar(values))
+            previous = (x, y)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _plane_dims(frame: PlanarFrame420,
+                    channel: Channel) -> Tuple[int, int]:
+        plane = frame.plane(channel)
+        return plane.shape[1], plane.shape[0]
+
+    @staticmethod
+    def _full_res(channel: Channel, x: int, y: int) -> Tuple[int, int]:
+        """Map plane coordinates back to full-resolution coordinates (the
+        counted store addresses chroma through full-res coordinates)."""
+        if channel in SUBSAMPLED_CHANNELS:
+            return x * 2, y * 2
+        return x, y
+
+
+# ---------------------------------------------------------------------------
+# Analytic software cost model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SoftwareCostModel:
+    """Per-event instruction costs of the software AddressLib inner loops.
+
+    The constants model a scalar C implementation: every fresh element
+    read needs index arithmetic and border tests before the load, every
+    write one index computation, and every scan step counter maintenance.
+    They were chosen so that profiles of representative calls match the
+    instruction-mix shape reported by the paper's profiling study
+    (addressing classes dominating pixel processing).
+    """
+
+    #: Per scan step: advance/compare position counters.
+    scan: InstructionCost = InstructionCost(addr=2, branch=1)
+    #: Per fresh element read: offset add, clamp tests, index linearise, load.
+    read: InstructionCost = InstructionCost(addr=3, branch=2, load=1)
+    #: Per element written: index reuse plus the store.
+    write: InstructionCost = InstructionCost(addr=1, store=1)
+    #: Extra instructions per element access (reads *and* writes) for
+    #: framework-heavy software stacks.  The tight AddressLib C library
+    #: needs none (the default); the MPEG-7 XM baseline of Table 3
+    #: funnels every pixel access through generic multimedia accessors
+    #: and virtual dispatch, priced by :func:`xm_cost_model`.
+    per_access_overhead: InstructionCost = InstructionCost()
+
+    def inter_profile(self, op: InterOp, fmt: ImageFormat,
+                      channels: ChannelSet = ChannelSet.Y,
+                      scan: ScanOrder = ScanOrder.HORIZONTAL) -> OpProfile:
+        """Analytic profile of one software inter call."""
+        del scan  # inter cost is scan-order independent
+        profile = OpProfile()
+        for channel in channels_of(channels):
+            pixels = plane_pixels_420(fmt, channel)
+            per_pixel = (self.scan
+                         .plus(self.read.scaled(2))
+                         .plus(op.cost)
+                         .plus(self.write)
+                         .plus(self.per_access_overhead.scaled(3)))
+            profile.add_cost(per_pixel, pixels)
+        profile.add_call()
+        return profile
+
+    def intra_profile(self, op: IntraOp, fmt: ImageFormat,
+                      channels: ChannelSet = ChannelSet.Y,
+                      scan: ScanOrder = ScanOrder.HORIZONTAL) -> OpProfile:
+        """Analytic profile of one software intra call (steady state)."""
+        fresh = len(op.neighbourhood.fresh_offsets(scan))
+        profile = OpProfile()
+        for channel in channels_of(channels):
+            pixels = plane_pixels_420(fmt, channel)
+            per_pixel = (self.scan
+                         .plus(self.read.scaled(fresh))
+                         .plus(op.cost)
+                         .plus(self.write)
+                         .plus(self.per_access_overhead.scaled(fresh + 1)))
+            profile.add_cost(per_pixel, pixels)
+        profile.add_call()
+        return profile
+
+    # -- Table 2 access counts (loads + stores only) ------------------------
+
+    def inter_accesses(self, fmt: ImageFormat,
+                       channels: ChannelSet = ChannelSet.Y) -> int:
+        """Idealised software memory accesses of one inter call."""
+        return sum(3 * plane_pixels_420(fmt, c)
+                   for c in channels_of(channels))
+
+    def intra_accesses(self, op: IntraOp, fmt: ImageFormat,
+                       channels: ChannelSet = ChannelSet.Y,
+                       scan: ScanOrder = ScanOrder.HORIZONTAL) -> int:
+        """Idealised software memory accesses of one intra call
+        (``fresh_reads + 1`` per plane pixel, steady state)."""
+        fresh = len(op.neighbourhood.fresh_offsets(scan))
+        return sum((fresh + 1) * plane_pixels_420(fmt, c)
+                   for c in channels_of(channels))

@@ -1,0 +1,143 @@
+"""Segment-indexed addressing (paper section 2.1, fourth scheme).
+
+Segment-indexed addressing "is used in parallel to one of the above
+addressing methods, when data associated to a segment is needed or
+generated during the pixel processing, e.g. segment identification
+numbers.  This is done accessing an indexed table."
+
+Unlike the other three schemes it does not address pixel data: it reads
+and writes rows of a side table keyed by an index (typically a segment
+id).  :class:`IndexedTable` models that table with counted accesses, and
+:class:`SegmentStatistics` is the canonical use -- per-segment accumulators
+updated while another scheme sweeps pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .profiling import InstructionCost, OpProfile
+
+#: Instruction cost of one indexed table access: index scale/offset
+#: arithmetic plus the memory operation.
+INDEXED_READ_COST = InstructionCost(addr=2, load=1)
+INDEXED_WRITE_COST = InstructionCost(addr=2, store=1)
+
+
+class IndexedTable:
+    """A fixed-width table addressed by integer index, with access counts.
+
+    Rows are dictionaries of named fields; the field set is fixed at
+    construction, mirroring a hardware table with a fixed record layout.
+    """
+
+    def __init__(self, fields: List[str], size: int,
+                 profile: Optional[OpProfile] = None) -> None:
+        if size <= 0:
+            raise ValueError("table size must be positive")
+        if not fields:
+            raise ValueError("table needs at least one field")
+        if len(set(fields)) != len(fields):
+            raise ValueError(f"duplicate field names in {fields}")
+        self.fields = list(fields)
+        self.size = size
+        self.profile = profile
+        self._rows: List[Dict[str, int]] = [
+            {name: 0 for name in fields} for _ in range(size)]
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, index: int, fieldname: str) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside table of {self.size}")
+        if fieldname not in self._rows[0]:
+            raise KeyError(f"unknown field {fieldname!r}; "
+                           f"have {self.fields}")
+
+    def read(self, index: int, fieldname: str) -> int:
+        """Counted read of one field of row ``index``."""
+        self._check(index, fieldname)
+        self.reads += 1
+        if self.profile is not None:
+            self.profile.add_cost(INDEXED_READ_COST)
+        return self._rows[index][fieldname]
+
+    def write(self, index: int, fieldname: str, value: int) -> None:
+        """Counted write of one field of row ``index``."""
+        self._check(index, fieldname)
+        self.writes += 1
+        if self.profile is not None:
+            self.profile.add_cost(INDEXED_WRITE_COST)
+        self._rows[index][fieldname] = value
+
+    def increment(self, index: int, fieldname: str, delta: int = 1) -> int:
+        """Read-modify-write accumulate; returns the new value."""
+        value = self.read(index, fieldname) + delta
+        self.write(index, fieldname, value)
+        return value
+
+    @property
+    def accesses(self) -> int:
+        """Total counted table accesses."""
+        return self.reads + self.writes
+
+    def row(self, index: int) -> Dict[str, int]:
+        """Uncounted snapshot of one row (for reporting)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside table of {self.size}")
+        return dict(self._rows[index])
+
+
+@dataclass
+class SegmentStatistics:
+    """Per-segment accumulators maintained via segment-indexed addressing.
+
+    One row per segment id: pixel count, luminance sum, and the bounding
+    box.  Updated once per processed pixel by the segment scheme; the mean
+    and box are derived on demand.
+    """
+
+    table: IndexedTable = field(default=None)  # type: ignore[assignment]
+    max_segments: int = 256
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            self.table = IndexedTable(
+                ["area", "luma_sum", "min_x", "min_y", "max_x", "max_y"],
+                self.max_segments)
+
+    def observe(self, segment_id: int, x: int, y: int, luma: int) -> None:
+        """Fold pixel ``(x, y)`` with luminance ``luma`` into the segment."""
+        area = self.table.increment(segment_id, "area")
+        self.table.increment(segment_id, "luma_sum", luma)
+        if area == 1:
+            self.table.write(segment_id, "min_x", x)
+            self.table.write(segment_id, "min_y", y)
+            self.table.write(segment_id, "max_x", x)
+            self.table.write(segment_id, "max_y", y)
+            return
+        if x < self.table.read(segment_id, "min_x"):
+            self.table.write(segment_id, "min_x", x)
+        if y < self.table.read(segment_id, "min_y"):
+            self.table.write(segment_id, "min_y", y)
+        if x > self.table.read(segment_id, "max_x"):
+            self.table.write(segment_id, "max_x", x)
+        if y > self.table.read(segment_id, "max_y"):
+            self.table.write(segment_id, "max_y", y)
+
+    def area(self, segment_id: int) -> int:
+        return self.table.row(segment_id)["area"]
+
+    def mean_luma(self, segment_id: int) -> float:
+        row = self.table.row(segment_id)
+        if row["area"] == 0:
+            return 0.0
+        return row["luma_sum"] / row["area"]
+
+    def bounding_box(self, segment_id: int):
+        """``(min_x, min_y, max_x, max_y)`` of the segment, or ``None``."""
+        row = self.table.row(segment_id)
+        if row["area"] == 0:
+            return None
+        return row["min_x"], row["min_y"], row["max_x"], row["max_y"]

@@ -1,0 +1,286 @@
+"""The AddressLib facade: structured pixel addressing behind one API.
+
+Applications (GME, segmentation, the examples) express all low-level pixel
+work as AddressLib calls.  Each call names an addressing scheme, an
+operation and a channel set; the library dispatches to the active
+*backend* -- the pure-software executor or the AddressEngine coprocessor --
+and records the call in a :class:`CallLog`.  Keeping the high-level
+algorithm on the host and swapping only the backend is exactly the
+deployment model of the paper (section 4.3: "The top-level software layer
+... was kept in the PC, which accessed the ADM-XRC-II board after every
+call to the AddressLib").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..image.frame import Frame
+from ..image.pixel import Channel
+from .addressing import CON_4, AddressingMode, Neighbourhood, ScanOrder
+from .executor import SoftwareCostModel, VectorExecutor
+from .indexed import INDEXED_READ_COST, INDEXED_WRITE_COST
+from .ops import ChannelSet, InterOp, IntraOp
+from .profiling import InstructionCost, OpProfile
+from .segment import (Criterion, LumaDeltaCriterion, SegmentProcessor,
+                      SegmentResult)
+
+
+@dataclass
+class CallRecord:
+    """One completed AddressLib call, with its accounting."""
+
+    mode: AddressingMode
+    op_name: str
+    channels: ChannelSet
+    format_name: str
+    pixels: int
+    #: Analytic instruction profile of the software execution of this call
+    #: (present on the software backend; also kept by the engine backend so
+    #: the "what would the CPU have done" comparison is always available).
+    profile: Optional[OpProfile] = None
+    #: Backend-specific accounting (engine cycles, PCI bytes, ...).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class CallLog:
+    """An append-only log of AddressLib calls with per-mode tallies."""
+
+    def __init__(self) -> None:
+        self.records: List[CallRecord] = []
+
+    def append(self, record: CallRecord) -> None:
+        self.records.append(record)
+
+    def count(self, mode: AddressingMode) -> int:
+        return sum(1 for r in self.records if r.mode is mode)
+
+    @property
+    def intra_calls(self) -> int:
+        """Intra-mode calls (the 'Intra AddrEng calls' column of Table 3)."""
+        return self.count(AddressingMode.INTRA)
+
+    @property
+    def inter_calls(self) -> int:
+        """Inter-mode calls (the 'Inter AddrEng calls' column of Table 3)."""
+        return self.count(AddressingMode.INTER)
+
+    @property
+    def total_calls(self) -> int:
+        return len(self.records)
+
+    def merged_profile(self) -> OpProfile:
+        """Union of all per-call profiles."""
+        merged = OpProfile()
+        for record in self.records:
+            if record.profile is not None:
+                merged.merge(record.profile)
+        return merged
+
+    def total_extra(self, key: str) -> float:
+        """Sum of one ``extra`` accounting key over all records."""
+        return sum(r.extra.get(key, 0.0) for r in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Backend(abc.ABC):
+    """Executes AddressLib calls; one of software or AddressEngine."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def supports(self, mode: AddressingMode) -> bool:
+        """Whether this backend can execute ``mode``."""
+
+    @abc.abstractmethod
+    def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        """Execute an inter call; return the result and its record."""
+
+    @abc.abstractmethod
+    def intra(self, op: IntraOp, frame: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        """Execute an intra call; return the result and its record."""
+
+    @abc.abstractmethod
+    def inter_reduce(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet) -> Tuple[int, CallRecord]:
+        """Execute an inter call reduced to a scalar sum (e.g. SAD)."""
+
+
+class SoftwareBackend(Backend):
+    """Pure-software execution: numpy results + analytic CPU profiles.
+
+    Functionally the results come from :class:`VectorExecutor`; the
+    attached profile is what the scalar C implementation would have
+    executed (validated against the counted executor by tests).
+    """
+
+    name = "software"
+
+    def __init__(self, cost_model: Optional[SoftwareCostModel] = None,
+                 scan: ScanOrder = ScanOrder.HORIZONTAL) -> None:
+        self.cost_model = cost_model or SoftwareCostModel()
+        self.scan = scan
+
+    def supports(self, mode: AddressingMode) -> bool:
+        return True
+
+    def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        result = VectorExecutor.inter(op, frame_a, frame_b, channels)
+        profile = self.cost_model.inter_profile(op, frame_a.format, channels)
+        record = CallRecord(
+            mode=AddressingMode.INTER, op_name=op.name, channels=channels,
+            format_name=frame_a.format.name, pixels=frame_a.format.pixels,
+            profile=profile,
+            extra={"sw_accesses": float(
+                self.cost_model.inter_accesses(frame_a.format, channels)),
+                   "width": float(frame_a.format.width),
+                   "height": float(frame_a.format.height)})
+        return result, record
+
+    def intra(self, op: IntraOp, frame: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        result = VectorExecutor.intra(op, frame, channels)
+        profile = self.cost_model.intra_profile(op, frame.format, channels,
+                                                self.scan)
+        record = CallRecord(
+            mode=AddressingMode.INTRA, op_name=op.name, channels=channels,
+            format_name=frame.format.name, pixels=frame.format.pixels,
+            profile=profile,
+            extra={"sw_accesses": float(self.cost_model.intra_accesses(
+                op, frame.format, channels, self.scan)),
+                   "width": float(frame.format.width),
+                   "height": float(frame.format.height)})
+        return result, record
+
+    def inter_reduce(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet) -> Tuple[int, CallRecord]:
+        value = VectorExecutor.inter_reduce(op, frame_a, frame_b, channels)
+        profile = self.cost_model.inter_profile(op, frame_a.format, channels)
+        # The reduction adds one accumulate per pixel per channel.
+        profile.add_cost(InstructionCost(alu=1),
+                         frame_a.format.pixels * channels.count)
+        record = CallRecord(
+            mode=AddressingMode.INTER, op_name=f"{op.name}+reduce",
+            channels=channels, format_name=frame_a.format.name,
+            pixels=frame_a.format.pixels, profile=profile,
+            extra={"sw_accesses": float(
+                self.cost_model.inter_accesses(frame_a.format, channels)),
+                   "width": float(frame_a.format.width),
+                   "height": float(frame_a.format.height)})
+        return value, record
+
+
+class AddressLib:
+    """The application-facing library.
+
+    All four addressing schemes are exposed.  Inter and intra dispatch to
+    the configured backend; segment (and its indexed side tables) always
+    runs on the software path in this version, mirroring the v1 prototype
+    where segment addressing is the announced next step.
+    """
+
+    def __init__(self, backend: Optional[Backend] = None) -> None:
+        self.backend = backend or SoftwareBackend()
+        self.log = CallLog()
+        fully_capable = (isinstance(self.backend, SoftwareBackend)
+                         and all(self.backend.supports(mode)
+                                 for mode in AddressingMode))
+        self._software_fallback = (self.backend if fully_capable
+                                   else SoftwareBackend())
+
+    # -- inter / intra (engine-eligible) -------------------------------------
+
+    def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> Frame:
+        """Inter addressing: ``result[p] = op(frame_a[p], frame_b[p])``."""
+        result, record = self._dispatch(AddressingMode.INTER).inter(
+            op, frame_a, frame_b, channels)
+        self.log.append(record)
+        return result
+
+    def intra(self, op: IntraOp, frame: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> Frame:
+        """Intra addressing: neighbourhood ``op`` within one frame."""
+        result, record = self._dispatch(AddressingMode.INTRA).intra(
+            op, frame, channels)
+        self.log.append(record)
+        return result
+
+    def inter_reduce(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet = ChannelSet.Y) -> int:
+        """Inter addressing reduced to a scalar (SAD and friends)."""
+        value, record = self._dispatch(AddressingMode.INTER).inter_reduce(
+            op, frame_a, frame_b, channels)
+        self.log.append(record)
+        return value
+
+    # -- segment / segment-indexed (software path in v1) ----------------------
+
+    def segment(self, frame: Frame, seeds: Sequence[Tuple[int, int]],
+                criterion: Criterion,
+                connectivity: Neighbourhood = CON_4,
+                max_pixels: Optional[int] = None) -> SegmentResult:
+        """Segment addressing: geodesic expansion from ``seeds``.
+
+        Runs in software on v1 backends.  A segment-capable backend (the
+        modelled v2 extension) takes the call when the criterion is
+        hardware-mappable (:class:`LumaDeltaCriterion`) and the
+        connectivity is the unit's fixed 4-connectivity; anything else
+        falls back to software.
+        """
+        backend_segment = getattr(self.backend, "segment", None)
+        if (backend_segment is not None
+                and self.backend.supports(AddressingMode.SEGMENT)
+                and isinstance(criterion, LumaDeltaCriterion)
+                and connectivity is CON_4):
+            result, record = backend_segment(frame, seeds, criterion,
+                                             max_pixels)
+            self.log.append(record)
+            return result
+
+        profile = OpProfile()
+        processor = SegmentProcessor(connectivity=connectivity,
+                                     profile=profile)
+        result = processor.expand(frame, seeds, criterion,
+                                  max_pixels=max_pixels)
+        self.log.append(CallRecord(
+            mode=AddressingMode.SEGMENT, op_name="segment_expand",
+            channels=ChannelSet.Y, format_name=frame.format.name,
+            pixels=result.pixels_processed, profile=profile))
+        return result
+
+    def histogram(self, frame: Frame,
+                  channel: Channel = Channel.Y) -> np.ndarray:
+        """Segment-indexed addressing example: a 256-bin histogram.
+
+        Each pixel performs one indexed read-modify-write on the table,
+        alongside an intra CON_0 sweep.
+        """
+        histogram = VectorExecutor.histogram(frame, channel)
+        profile = OpProfile()
+        sweep = self._software_fallback.cost_model.intra_profile
+        from .ops import INTRA_COPY  # local import avoids a cycle at module load
+        profile.merge(sweep(INTRA_COPY, frame.format, ChannelSet.Y))
+        profile.add_cost(INDEXED_READ_COST.plus(INDEXED_WRITE_COST),
+                         frame.format.pixels)
+        self.log.append(CallRecord(
+            mode=AddressingMode.SEGMENT_INDEXED, op_name="histogram",
+            channels=ChannelSet.Y, format_name=frame.format.name,
+            pixels=frame.format.pixels, profile=profile))
+        return histogram
+
+    # -- internals -------------------------------------------------------------
+
+    def _dispatch(self, mode: AddressingMode) -> Backend:
+        if self.backend.supports(mode):
+            return self.backend
+        return self._software_fallback

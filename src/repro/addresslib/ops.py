@@ -1,0 +1,466 @@
+"""Pixel-level sub-functions (paper section 2.2).
+
+AddressLib separates pixel work into basic sub-functions (add, sub, mult,
+grad, ...) that compose into complex operations such as homogeneity checks
+or morphological gradients.  This module defines the operation objects:
+
+* :class:`InterOp` -- elementwise over two frames (inter addressing);
+* :class:`IntraOp` -- over a neighbourhood within one frame (intra
+  addressing).
+
+Each operation carries three executable faces kept consistent by tests:
+
+1. ``scalar`` -- per-pixel reference semantics (drives the counted
+   software model of Table 2 and the cycle-level engine's stage 3);
+2. ``vector`` -- numpy bulk semantics (drives the fast functional
+   executors used by GME and the examples);
+3. ``cost`` -- per-pixel-per-channel processing instructions
+   (:class:`~repro.addresslib.profiling.InstructionCost`; the executor
+   adds the addressing cost on top).
+
+All 8-bit channel math saturates to [0, 255]; intermediates use int32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from .addressing import CON_0, CON_8, Neighbourhood
+from .profiling import InstructionCost
+
+
+class ChannelSet(Enum):
+    """Which colour channels a call reads/writes (Table 2's channel column)."""
+
+    Y = ("Y",)
+    YUV = ("Y", "U", "V")
+
+    def __init__(self, *names: str) -> None:
+        self.channel_names: Tuple[str, ...] = names
+
+    @property
+    def count(self) -> int:
+        return len(self.channel_names)
+
+
+def _sat8(values: np.ndarray) -> np.ndarray:
+    """Saturate an int array to the 8-bit channel range."""
+    return np.clip(values, 0, 255).astype(np.uint8)
+
+
+def _sat8_scalar(value: float) -> int:
+    return int(min(max(round(value), 0), 255))
+
+
+@dataclass(frozen=True)
+class InterOp:
+    """An elementwise operation over two frames: ``r = f(a, b)``."""
+
+    name: str
+    scalar: Callable[[int, int], int]
+    vector: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    cost: InstructionCost
+    #: Stage-3 latency of the engine datapath, in engine cycles.
+    engine_cycles: int = 1
+
+    def apply_scalar(self, a: int, b: int) -> int:
+        return self.scalar(a, b)
+
+    def apply_vector(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.vector(a, b)
+
+
+@dataclass(frozen=True)
+class IntraOp:
+    """A neighbourhood operation within one frame.
+
+    ``scalar`` receives the neighbourhood values in the order of
+    ``neighbourhood.offsets``; ``vector`` receives a stack shaped
+    ``(len(offsets), height, width)`` where plane ``i`` is the frame
+    shifted by ``offsets[i]`` (border-clamped).
+    """
+
+    name: str
+    neighbourhood: Neighbourhood
+    scalar: Callable[[Sequence[int]], int]
+    vector: Callable[[np.ndarray], np.ndarray]
+    cost: InstructionCost
+    engine_cycles: int = 1
+
+    def apply_scalar(self, values: Sequence[int]) -> int:
+        if len(values) != self.neighbourhood.size:
+            raise ValueError(
+                f"{self.name} expects {self.neighbourhood.size} "
+                f"neighbourhood values, got {len(values)}")
+        return self.scalar(values)
+
+    def apply_vector(self, stack: np.ndarray) -> np.ndarray:
+        if stack.shape[0] != self.neighbourhood.size:
+            raise ValueError(
+                f"{self.name} expects a {self.neighbourhood.size}-plane "
+                f"stack, got {stack.shape[0]}")
+        return self.vector(stack)
+
+
+# ---------------------------------------------------------------------------
+# Inter operations
+# ---------------------------------------------------------------------------
+
+def _make_inter(name: str, scalar, vector, cost: InstructionCost,
+                engine_cycles: int = 1) -> InterOp:
+    return InterOp(name=name, scalar=scalar, vector=vector, cost=cost,
+                   engine_cycles=engine_cycles)
+
+
+#: Saturating addition of two frames.
+INTER_ADD = _make_inter(
+    "inter_add",
+    lambda a, b: _sat8_scalar(a + b),
+    lambda a, b: _sat8(a.astype(np.int32) + b.astype(np.int32)),
+    InstructionCost(alu=2))
+
+#: Saturating subtraction ``a - b``.
+INTER_SUB = _make_inter(
+    "inter_sub",
+    lambda a, b: _sat8_scalar(a - b),
+    lambda a, b: _sat8(a.astype(np.int32) - b.astype(np.int32)),
+    InstructionCost(alu=2))
+
+#: Absolute difference -- the difference-picture / SAD building block the
+#: paper names as the canonical inter operation.
+INTER_ABSDIFF = _make_inter(
+    "inter_absdiff",
+    lambda a, b: abs(int(a) - int(b)),
+    lambda a, b: np.abs(a.astype(np.int32) - b.astype(np.int32))
+    .astype(np.uint8),
+    InstructionCost(alu=2, branch=1))
+
+#: Fixed-point multiply: ``(a * b) >> 8`` (product scaled back to 8 bits).
+INTER_MUL = _make_inter(
+    "inter_mul",
+    lambda a, b: _sat8_scalar((int(a) * int(b)) >> 8),
+    lambda a, b: _sat8((a.astype(np.int32) * b.astype(np.int32)) >> 8),
+    InstructionCost(mul=1, alu=1),
+    engine_cycles=2)
+
+#: Elementwise minimum.
+INTER_MIN = _make_inter(
+    "inter_min",
+    lambda a, b: min(int(a), int(b)),
+    lambda a, b: np.minimum(a, b),
+    InstructionCost(alu=1, branch=1))
+
+#: Elementwise maximum.
+INTER_MAX = _make_inter(
+    "inter_max",
+    lambda a, b: max(int(a), int(b)),
+    lambda a, b: np.maximum(a, b),
+    InstructionCost(alu=1, branch=1))
+
+#: Rounding average of two frames (temporal smoothing).
+INTER_AVG = _make_inter(
+    "inter_avg",
+    lambda a, b: (int(a) + int(b) + 1) >> 1,
+    lambda a, b: ((a.astype(np.int32) + b.astype(np.int32) + 1) >> 1)
+    .astype(np.uint8),
+    InstructionCost(alu=2))
+
+
+# ---------------------------------------------------------------------------
+# Intra operations
+# ---------------------------------------------------------------------------
+
+def copy_op() -> IntraOp:
+    """CON_0 identity: the Table 2 ``Intra CON_0`` workload."""
+    return IntraOp(
+        name="intra_copy",
+        neighbourhood=CON_0,
+        scalar=lambda v: int(v[0]),
+        vector=lambda s: s[0].astype(np.uint8),
+        cost=InstructionCost(alu=1))
+
+
+def threshold_op(threshold: int, low: int = 0, high: int = 255) -> IntraOp:
+    """CON_0 binarisation: ``high`` where value >= threshold else ``low``."""
+    return IntraOp(
+        name=f"intra_threshold_{threshold}",
+        neighbourhood=CON_0,
+        scalar=lambda v: high if v[0] >= threshold else low,
+        vector=lambda s: np.where(s[0] >= threshold, high, low)
+        .astype(np.uint8),
+        cost=InstructionCost(alu=1, branch=1))
+
+
+def scale_offset_op(scale_num: int, scale_den: int, offset: int) -> IntraOp:
+    """CON_0 affine remap: ``v * scale_num / scale_den + offset``, saturated."""
+    if scale_den <= 0:
+        raise ValueError("scale_den must be positive")
+
+    def scalar(v: Sequence[int]) -> int:
+        return _sat8_scalar(int(v[0]) * scale_num // scale_den + offset)
+
+    def vector(s: np.ndarray) -> np.ndarray:
+        return _sat8(s[0].astype(np.int64) * scale_num // scale_den + offset)
+
+    return IntraOp(
+        name=f"intra_scale_{scale_num}_{scale_den}_{offset}",
+        neighbourhood=CON_0, scalar=scalar, vector=vector,
+        cost=InstructionCost(mul=1, alu=2))
+
+
+def fir_op(name: str, neighbourhood: Neighbourhood,
+           weights: Sequence[int], shift: int = 0) -> IntraOp:
+    """A FIR filter: weighted sum over the neighbourhood, ``>> shift``.
+
+    ``weights`` follows ``neighbourhood.offsets`` order.  This is the
+    paper's "FIR filter like operations" family (section 2.1: intra
+    addressing is "typically used for FIR filter like operations").
+    """
+    if len(weights) != neighbourhood.size:
+        raise ValueError(
+            f"{name}: {len(weights)} weights for "
+            f"{neighbourhood.size}-pixel neighbourhood")
+    weight_arr = np.asarray(weights, dtype=np.int64)
+
+    def scalar(values: Sequence[int]) -> int:
+        acc = sum(int(w) * int(v) for w, v in zip(weights, values))
+        return _sat8_scalar(acc >> shift if shift else acc)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        acc = np.tensordot(weight_arr, stack.astype(np.int64), axes=(0, 0))
+        if shift:
+            acc >>= shift
+        return _sat8(acc)
+
+    taps = int(np.count_nonzero(weight_arr))
+    return IntraOp(
+        name=name, neighbourhood=neighbourhood, scalar=scalar, vector=vector,
+        cost=InstructionCost(mul=taps, alu=taps + 1),
+        engine_cycles=2)
+
+
+def box3_op() -> IntraOp:
+    """3x3 box blur (sum / 9 approximated as ``* 57 >> 9``)."""
+    nine = [1] * 9
+
+    def scalar(values: Sequence[int]) -> int:
+        return _sat8_scalar((sum(int(v) for v in values) * 57) >> 9)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        return _sat8((stack.astype(np.int64).sum(axis=0) * 57) >> 9)
+
+    return IntraOp(
+        name="intra_box3", neighbourhood=CON_8, scalar=scalar, vector=vector,
+        cost=InstructionCost(mul=1, alu=len(nine) + 1), engine_cycles=2)
+
+
+def _offset_weight_map(neighbourhood: Neighbourhood,
+                       mapping: Dict[Tuple[int, int], int]) -> Tuple[int, ...]:
+    return tuple(mapping.get(off, 0) for off in neighbourhood.offsets)
+
+
+def sobel_x_op() -> IntraOp:
+    """Horizontal Sobel derivative, biased by +128 into the 8-bit range."""
+    weights = _offset_weight_map(CON_8, {
+        (-1, -1): -1, (1, -1): 1,
+        (-1, 0): -2, (1, 0): 2,
+        (-1, 1): -1, (1, 1): 1,
+    })
+
+    def scalar(values: Sequence[int]) -> int:
+        acc = sum(w * int(v) for w, v in zip(weights, values))
+        return _sat8_scalar((acc >> 3) + 128)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        acc = np.tensordot(np.asarray(weights, np.int64),
+                           stack.astype(np.int64), axes=(0, 0))
+        return _sat8((acc >> 3) + 128)
+
+    return IntraOp(name="intra_sobel_x", neighbourhood=CON_8,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(mul=6, alu=8), engine_cycles=2)
+
+
+def sobel_y_op() -> IntraOp:
+    """Vertical Sobel derivative, biased by +128 into the 8-bit range."""
+    weights = _offset_weight_map(CON_8, {
+        (-1, -1): -1, (0, -1): -2, (1, -1): -1,
+        (-1, 1): 1, (0, 1): 2, (1, 1): 1,
+    })
+
+    def scalar(values: Sequence[int]) -> int:
+        acc = sum(w * int(v) for w, v in zip(weights, values))
+        return _sat8_scalar((acc >> 3) + 128)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        acc = np.tensordot(np.asarray(weights, np.int64),
+                           stack.astype(np.int64), axes=(0, 0))
+        return _sat8((acc >> 3) + 128)
+
+    return IntraOp(name="intra_sobel_y", neighbourhood=CON_8,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(mul=6, alu=8), engine_cycles=2)
+
+
+def gradient_magnitude_op() -> IntraOp:
+    """|Sobel_x| + |Sobel_y| over the 3x3 neighbourhood ("grad")."""
+    wx = _offset_weight_map(CON_8, {
+        (-1, -1): -1, (1, -1): 1, (-1, 0): -2, (1, 0): 2,
+        (-1, 1): -1, (1, 1): 1,
+    })
+    wy = _offset_weight_map(CON_8, {
+        (-1, -1): -1, (0, -1): -2, (1, -1): -1,
+        (-1, 1): 1, (0, 1): 2, (1, 1): 1,
+    })
+
+    def scalar(values: Sequence[int]) -> int:
+        gx = sum(w * int(v) for w, v in zip(wx, values))
+        gy = sum(w * int(v) for w, v in zip(wy, values))
+        return _sat8_scalar((abs(gx) + abs(gy)) >> 3)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        planes = stack.astype(np.int64)
+        gx = np.tensordot(np.asarray(wx, np.int64), planes, axes=(0, 0))
+        gy = np.tensordot(np.asarray(wy, np.int64), planes, axes=(0, 0))
+        return _sat8((np.abs(gx) + np.abs(gy)) >> 3)
+
+    return IntraOp(name="intra_grad", neighbourhood=CON_8,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(mul=12, alu=18, branch=2),
+                   engine_cycles=3)
+
+
+def erode_op(neighbourhood: Neighbourhood = CON_8) -> IntraOp:
+    """Morphological erosion: neighbourhood minimum."""
+    return IntraOp(
+        name=f"intra_erode_{neighbourhood.name}",
+        neighbourhood=neighbourhood,
+        scalar=lambda v: int(min(v)),
+        vector=lambda s: s.min(axis=0).astype(np.uint8),
+        cost=InstructionCost(alu=neighbourhood.size - 1,
+                             branch=neighbourhood.size - 1))
+
+
+def dilate_op(neighbourhood: Neighbourhood = CON_8) -> IntraOp:
+    """Morphological dilation: neighbourhood maximum."""
+    return IntraOp(
+        name=f"intra_dilate_{neighbourhood.name}",
+        neighbourhood=neighbourhood,
+        scalar=lambda v: int(max(v)),
+        vector=lambda s: s.max(axis=0).astype(np.uint8),
+        cost=InstructionCost(alu=neighbourhood.size - 1,
+                             branch=neighbourhood.size - 1))
+
+
+def morph_gradient_op(neighbourhood: Neighbourhood = CON_8) -> IntraOp:
+    """Morphological gradient: dilation minus erosion in one pass.
+
+    The paper names "morphological gradient operations" as a canonical
+    composition of basic sub-functions.
+    """
+    return IntraOp(
+        name=f"intra_morph_grad_{neighbourhood.name}",
+        neighbourhood=neighbourhood,
+        scalar=lambda v: int(max(v)) - int(min(v)),
+        vector=lambda s: (s.max(axis=0).astype(np.int32)
+                          - s.min(axis=0).astype(np.int32)).astype(np.uint8),
+        cost=InstructionCost(alu=2 * neighbourhood.size - 1,
+                             branch=2 * (neighbourhood.size - 1)),
+        engine_cycles=2)
+
+
+def median3_op() -> IntraOp:
+    """3x3 median filter (rank filter; impulse noise removal)."""
+    def scalar(values: Sequence[int]) -> int:
+        ordered = sorted(int(v) for v in values)
+        return ordered[len(ordered) // 2]
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        return np.median(stack, axis=0).astype(np.uint8)
+
+    return IntraOp(name="intra_median3", neighbourhood=CON_8,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(alu=30, branch=19),
+                   engine_cycles=4)
+
+
+def laplace_op() -> IntraOp:
+    """3x3 Laplacian (centre*8 - neighbours), biased by +128."""
+    weights = _offset_weight_map(CON_8, {
+        (0, 0): 8,
+        (-1, -1): -1, (0, -1): -1, (1, -1): -1,
+        (-1, 0): -1, (1, 0): -1,
+        (-1, 1): -1, (0, 1): -1, (1, 1): -1,
+    })
+
+    def scalar(values: Sequence[int]) -> int:
+        acc = sum(w * int(v) for w, v in zip(weights, values))
+        return _sat8_scalar((acc >> 3) + 128)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        acc = np.tensordot(np.asarray(weights, np.int64),
+                           stack.astype(np.int64), axes=(0, 0))
+        return _sat8((acc >> 3) + 128)
+
+    return IntraOp(name="intra_laplace", neighbourhood=CON_8,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(mul=9, alu=10), engine_cycles=2)
+
+
+def homogeneity_op(neighbourhood: Neighbourhood = CON_8) -> IntraOp:
+    """Maximum absolute difference between the centre and its neighbours.
+
+    The paper's example composition: "luminance/chrominance difference
+    between neighboring pixels for homogeneity check" -- low output means
+    the centre sits inside a homogeneous region, high output marks a
+    boundary.  Segment growing thresholds this value.
+    """
+    centre_index = neighbourhood.offsets.index((0, 0))
+
+    def scalar(values: Sequence[int]) -> int:
+        centre = int(values[centre_index])
+        return max(abs(int(v) - centre) for v in values)
+
+    def vector(stack: np.ndarray) -> np.ndarray:
+        centre = stack[centre_index].astype(np.int32)
+        diffs = np.abs(stack.astype(np.int32) - centre[None])
+        return diffs.max(axis=0).astype(np.uint8)
+
+    return IntraOp(name=f"intra_homogeneity_{neighbourhood.name}",
+                   neighbourhood=neighbourhood,
+                   scalar=scalar, vector=vector,
+                   cost=InstructionCost(alu=2 * neighbourhood.size,
+                                        branch=neighbourhood.size))
+
+
+#: Ready-made instances of the parameterless intra ops.
+INTRA_COPY = copy_op()
+INTRA_BOX3 = box3_op()
+INTRA_SOBEL_X = sobel_x_op()
+INTRA_SOBEL_Y = sobel_y_op()
+INTRA_GRAD = gradient_magnitude_op()
+INTRA_ERODE = erode_op()
+INTRA_DILATE = dilate_op()
+INTRA_MORPH_GRAD = morph_gradient_op()
+INTRA_MEDIAN3 = median3_op()
+INTRA_LAPLACE = laplace_op()
+INTRA_HOMOGENEITY = homogeneity_op()
+
+#: All named inter ops, by name.
+INTER_OPS: Dict[str, InterOp] = {
+    op.name: op for op in (
+        INTER_ADD, INTER_SUB, INTER_ABSDIFF, INTER_MUL, INTER_MIN,
+        INTER_MAX, INTER_AVG)
+}
+
+#: All parameterless intra ops, by name.
+INTRA_OPS: Dict[str, IntraOp] = {
+    op.name: op for op in (
+        INTRA_COPY, INTRA_BOX3, INTRA_SOBEL_X, INTRA_SOBEL_Y, INTRA_GRAD,
+        INTRA_ERODE, INTRA_DILATE, INTRA_MORPH_GRAD, INTRA_MEDIAN3,
+        INTRA_LAPLACE, INTRA_HOMOGENEITY)
+}

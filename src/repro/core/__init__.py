@@ -1,0 +1,114 @@
+"""The AddressEngine coprocessor model (paper sections 2-3).
+
+A cycle-level model of the FPGA prototype: ZBT memory banks, PCI/DMA
+host link, input/output intermediate memories, the four-stage Process
+Unit, the pixel level controller (arbiter, instruction FSM,
+startpipeline, control FSM), transmission units and the image level
+controller -- plus the structural resource/timing estimator behind
+Table 1.
+"""
+
+from .config import (EngineConfig, EngineConfigError, IIM_LINES,
+                     IIM_LINES_PER_IMAGE_INTER, OIM_LINES, inter_config,
+                     intra_config)
+from .engine import (AddressEngine, EngineDeadlock, EngineRunResult,
+                     PLC_TICKS_PER_CYCLE)
+from .iim import InputIntermediateMemory, LineStoreFifo
+from .image_controller import ImageLevelController
+from .instructions import Instruction, InstructionKind, bundle_for
+from .matrix_register import MatrixRegister
+from .oim import OutputIntermediateMemory
+from .pci import (DEFAULT_JOB_OVERHEAD_CYCLES, DMAJob, Interrupt, PCIBus,
+                  PCI_CLOCK_HZ, PCI_PEAK_BYTES_PER_SECOND, PCI_WORD_BITS)
+from .plc import Arbiter, ArbiterConflict, PixelLevelController, PlcStats
+from .reconfig import (CONFIG_BANDWIDTH_BYTES_PER_S, FULL_BITSTREAM_BYTES,
+                       PARTIAL_BITSTREAM_BYTES, ReconfigurableEngine,
+                       ReconfigurationModel, ScheduleReport)
+from .process_unit import (PixelBundle, ProcessUnit, ResultPixel,
+                           ScanCounters)
+from .resources import (BRAM_BITS, DeviceCapacity, ModuleEstimate,
+                        ResourceEstimate, TimingModel, UtilizationReport,
+                        XC2V3000, iim_brams, oim_brams, total_resources,
+                        v1_module_inventory, v1_utilization_report,
+                        v2_utilization_report)
+from .segment_unit import (QUEUE_CAPACITY, QueueOverflow, SegmentCallConfig,
+                           SegmentRunResult, SegmentUnit,
+                           V2_CONNECTIVITY, v2_module_additions)
+from .txu import InputTransmissionUnit, OutputTransmissionUnit
+from .zbt import (BANK_COUNT, BANK_WORDS, BankPortConflict, BankStats,
+                  IMAGE0_BANKS, IMAGE1_BANKS, RESULT_BANKS, ZBTLayout,
+                  ZBTMemory)
+
+__all__ = [
+    "AddressEngine",
+    "Arbiter",
+    "ArbiterConflict",
+    "BANK_COUNT",
+    "BANK_WORDS",
+    "BRAM_BITS",
+    "BankPortConflict",
+    "BankStats",
+    "DEFAULT_JOB_OVERHEAD_CYCLES",
+    "DMAJob",
+    "DeviceCapacity",
+    "EngineConfig",
+    "EngineConfigError",
+    "EngineDeadlock",
+    "EngineRunResult",
+    "IIM_LINES",
+    "IIM_LINES_PER_IMAGE_INTER",
+    "IMAGE0_BANKS",
+    "IMAGE1_BANKS",
+    "ImageLevelController",
+    "InputIntermediateMemory",
+    "InputTransmissionUnit",
+    "Instruction",
+    "InstructionKind",
+    "Interrupt",
+    "LineStoreFifo",
+    "MatrixRegister",
+    "ModuleEstimate",
+    "OIM_LINES",
+    "OutputIntermediateMemory",
+    "OutputTransmissionUnit",
+    "PCIBus",
+    "PCI_CLOCK_HZ",
+    "PCI_PEAK_BYTES_PER_SECOND",
+    "PCI_WORD_BITS",
+    "PLC_TICKS_PER_CYCLE",
+    "PixelBundle",
+    "PixelLevelController",
+    "PlcStats",
+    "ProcessUnit",
+    "RESULT_BANKS",
+    "ResourceEstimate",
+    "ResultPixel",
+    "ScanCounters",
+    "TimingModel",
+    "UtilizationReport",
+    "XC2V3000",
+    "ZBTLayout",
+    "ZBTMemory",
+    "bundle_for",
+    "inter_config",
+    "intra_config",
+    "iim_brams",
+    "oim_brams",
+    "total_resources",
+    "CONFIG_BANDWIDTH_BYTES_PER_S",
+    "FULL_BITSTREAM_BYTES",
+    "PARTIAL_BITSTREAM_BYTES",
+    "QUEUE_CAPACITY",
+    "ReconfigurableEngine",
+    "ReconfigurationModel",
+    "ScheduleReport",
+    "QueueOverflow",
+    "SegmentCallConfig",
+    "SegmentRunResult",
+    "SegmentUnit",
+    "V2_CONNECTIVITY",
+    "v1_module_inventory",
+    "v1_utilization_report",
+    "v2_module_additions",
+    "v2_utilization_report",
+]

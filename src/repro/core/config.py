@@ -1,0 +1,120 @@
+"""AddressEngine call configuration.
+
+The v1 coprocessor is *statically configurable*: one AddressEngine call
+applies the same operation to every pixel of the image (paper section 3),
+so a call is fully described by an addressing mode, an operation, the
+channel set and the frame format.  :class:`EngineConfig` captures that and
+validates it against the v1 hardware limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..addresslib.addressing import (MAX_NEIGHBOURHOOD_LINES, AddressingMode,
+                                     ScanOrder)
+from ..addresslib.ops import ChannelSet, InterOp, IntraOp
+from ..image.formats import STRIP_LINES, ImageFormat
+
+#: Lines held by the intermediate memories (equal to the strip size).
+IIM_LINES = STRIP_LINES
+OIM_LINES = STRIP_LINES
+
+#: In inter mode the IIM splits into two FIFOs of this many lines each
+#: (paper section 3.3: "two FIFOs, one for every input image, with 8
+#: lines each").
+IIM_LINES_PER_IMAGE_INTER = IIM_LINES // 2
+
+
+class EngineConfigError(ValueError):
+    """A call configuration the v1 AddressEngine cannot execute."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One statically-configured AddressEngine call."""
+
+    mode: AddressingMode
+    op: Union[InterOp, IntraOp]
+    fmt: ImageFormat
+    channels: ChannelSet = ChannelSet.Y
+    scan: ScanOrder = ScanOrder.HORIZONTAL
+    #: Reduce the per-pixel results to a scalar sum (SAD-style calls);
+    #: no result image is produced or transferred back.
+    reduce_to_scalar: bool = False
+    #: A "special inter operation" (section 4.1): processing may only
+    #: start once both input images are completely stored in the ZBT.
+    requires_full_frames: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.mode.engine_supported_v1:
+            raise EngineConfigError(
+                f"v1 AddressEngine supports only intra and inter "
+                f"addressing; {self.mode.value} is future work")
+        if self.scan is not ScanOrder.HORIZONTAL:
+            raise EngineConfigError(
+                "the v1 engine scans horizontally; run vertical-scan "
+                "calls on the transposed frame or the software backend")
+        if self.mode is AddressingMode.INTER:
+            if not isinstance(self.op, InterOp):
+                raise EngineConfigError(
+                    f"inter mode needs an InterOp, got {type(self.op).__name__}")
+            if self.requires_full_frames and self.fmt.strips < 2:
+                raise EngineConfigError(
+                    "full-frame inter ops need at least two strips")
+        else:
+            if not isinstance(self.op, IntraOp):
+                raise EngineConfigError(
+                    f"intra mode needs an IntraOp, got {type(self.op).__name__}")
+            span = self.op.neighbourhood.line_span
+            if span > MAX_NEIGHBOURHOOD_LINES:
+                raise EngineConfigError(
+                    f"neighbourhood spans {span} lines, limit is "
+                    f"{MAX_NEIGHBOURHOOD_LINES}")
+            if self.requires_full_frames:
+                raise EngineConfigError(
+                    "requires_full_frames applies to inter mode only")
+            if self.reduce_to_scalar:
+                raise EngineConfigError(
+                    "scalar reduction is an inter-mode feature in v1")
+
+    @property
+    def images_in(self) -> int:
+        """Number of input images the call consumes."""
+        return 2 if self.mode is AddressingMode.INTER else 1
+
+    @property
+    def produces_image(self) -> bool:
+        """Whether a result image is written back to the host."""
+        return not self.reduce_to_scalar
+
+    @property
+    def op_name(self) -> str:
+        return self.op.name
+
+    @property
+    def iim_lines_per_image(self) -> int:
+        """IIM lines available per input image."""
+        if self.mode is AddressingMode.INTER:
+            return IIM_LINES_PER_IMAGE_INTER
+        return IIM_LINES
+
+
+def intra_config(op: IntraOp, fmt: ImageFormat,
+                 channels: ChannelSet = ChannelSet.Y,
+                 scan: ScanOrder = ScanOrder.HORIZONTAL) -> EngineConfig:
+    """Convenience constructor for an intra call."""
+    return EngineConfig(mode=AddressingMode.INTRA, op=op, fmt=fmt,
+                        channels=channels, scan=scan)
+
+
+def inter_config(op: InterOp, fmt: ImageFormat,
+                 channels: ChannelSet = ChannelSet.Y,
+                 reduce_to_scalar: bool = False,
+                 requires_full_frames: bool = False) -> EngineConfig:
+    """Convenience constructor for an inter call."""
+    return EngineConfig(mode=AddressingMode.INTER, op=op, fmt=fmt,
+                        channels=channels,
+                        reduce_to_scalar=reduce_to_scalar,
+                        requires_full_frames=requires_full_frames)

@@ -1,0 +1,187 @@
+"""The Input Intermediate Memory (IIM): parallel BRAM line stores.
+
+Paper section 3.1: the IIM sits at the input of the processing unit
+because of successive pixel reuse -- *"with the implementation employed
+the whole neighbourhood can be obtained in only one cycle, even in the
+worst case with perpendicular neighbourhood and scan direction"* (Figure
+4).  It holds sixteen lines, in sixteen memory blocks with two banks for
+the lower and the upper part of the pixel (32 blocks of FPGA embedded
+memory).  In inter mode it splits into two eight-line FIFOs, one per
+input image (section 3.3).
+
+The model keeps whole 64-bit pixels per line slot and exposes the FIFO
+handshake signals (FULL/EMPTY) the image level controller uses to halt
+the pixel level controller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class LineStoreFifo:
+    """A ring of line stores, each holding one full image line of pixels.
+
+    Lines enter in frame order via the transmission unit
+    (:meth:`begin_line` / :meth:`push_pixel` / line auto-completes) and
+    retire in order once the scan no longer needs them
+    (:meth:`release_through`).  Random access *within* the resident window
+    is unrestricted and free of extra cycles: all line blocks are read in
+    parallel, which is what makes the one-cycle neighbourhood fetch work.
+    """
+
+    def __init__(self, capacity_lines: int, width: int) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_lines = capacity_lines
+        self.width = width
+        #: Resident lines: line number -> (lower words, upper words).
+        self._lines: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._next_line_in = 0
+        self._oldest_resident = 0
+        self._fill_column = 0
+        self._filling: Optional[int] = None
+
+    # -- handshake signals -----------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        """No room to start (or continue into) another line."""
+        return (len(self._lines) >= self.capacity_lines
+                and self._filling is None)
+
+    @property
+    def empty(self) -> bool:
+        """No complete line resident."""
+        return not self._lines
+
+    @property
+    def resident_lines(self) -> List[int]:
+        """Complete resident line numbers, ascending."""
+        return sorted(self._lines)
+
+    @property
+    def next_line_to_fill(self) -> int:
+        """The line number the transmission unit will deliver next."""
+        return self._next_line_in if self._filling is None else self._filling
+
+    # -- fill side (transmission unit) -----------------------------------------
+
+    def can_accept_pixel(self) -> bool:
+        """Whether one more pixel can be pushed this cycle."""
+        if self._filling is not None:
+            return True
+        return len(self._lines) < self.capacity_lines
+
+    def push_pixel(self, lower: int, upper: int) -> None:
+        """Append one pixel to the line currently being filled.
+
+        Starts a new line automatically; when the line reaches the image
+        width it becomes resident and readable.
+        """
+        if self._filling is None:
+            if len(self._lines) >= self.capacity_lines:
+                raise RuntimeError("IIM overflow: no free line store")
+            self._filling = self._next_line_in
+            self._fill_buffer = (np.zeros(self.width, dtype=np.uint32),
+                                 np.zeros(self.width, dtype=np.uint32))
+            self._fill_column = 0
+        low_buf, up_buf = self._fill_buffer
+        low_buf[self._fill_column] = lower
+        up_buf[self._fill_column] = upper
+        self._fill_column += 1
+        if self._fill_column == self.width:
+            self._lines[self._filling] = self._fill_buffer
+            self._next_line_in = self._filling + 1
+            self._filling = None
+
+    # -- read side (process unit stage 2) ---------------------------------------
+
+    def lines_resident(self, first_line: int, last_line: int) -> bool:
+        """Whether every line in ``[first_line, last_line]`` (clamped to the
+        image) is resident and complete."""
+        for line in range(max(first_line, 0), last_line + 1):
+            if line not in self._lines:
+                return False
+        return True
+
+    def read_pixel(self, x: int, line: int) -> Tuple[int, int]:
+        """Read pixel ``x`` of resident ``line`` as ``(lower, upper)`` words.
+
+        Any number of same-cycle reads is allowed: each line lives in its
+        own pair of memory blocks, so a whole neighbourhood column loads
+        in parallel (the Figure 4 worst case costs one cycle, not nine).
+        """
+        if line not in self._lines:
+            raise KeyError(f"line {line} not resident in IIM")
+        if not 0 <= x < self.width:
+            raise IndexError(f"column {x} outside line of {self.width}")
+        low_buf, up_buf = self._lines[line]
+        return int(low_buf[x]), int(up_buf[x])
+
+    def release_through(self, line: int) -> int:
+        """Retire every resident line up to and including ``line``.
+
+        Returns how many line stores were freed.  The image level
+        controller calls this as the scan advances past a line's last use.
+        """
+        freed = 0
+        for resident in list(self._lines):
+            if resident <= line:
+                del self._lines[resident]
+                freed += 1
+        if freed:
+            self._oldest_resident = line + 1
+        return freed
+
+    def reset(self) -> None:
+        self._lines.clear()
+        self._next_line_in = 0
+        self._oldest_resident = 0
+        self._filling = None
+        self._fill_column = 0
+
+
+class InputIntermediateMemory:
+    """The IIM: one 16-line FIFO in intra mode, two 8-line FIFOs in inter.
+
+    Exposes combined FULL/EMPTY signals (section 3.3: in inter mode "we
+    will generate the same signals for both of the FIFOs").
+    """
+
+    def __init__(self, width: int, total_lines: int, images: int) -> None:
+        if images not in (1, 2):
+            raise ValueError("IIM serves one or two input images")
+        if total_lines % images != 0:
+            raise ValueError(
+                f"{total_lines} lines do not split over {images} images")
+        self.images = images
+        self.lines_per_image = total_lines // images
+        self.fifos = [LineStoreFifo(self.lines_per_image, width)
+                      for _ in range(images)]
+
+    @property
+    def full(self) -> bool:
+        return any(fifo.full for fifo in self.fifos)
+
+    @property
+    def empty(self) -> bool:
+        return any(fifo.empty for fifo in self.fifos)
+
+    def fifo(self, image: int) -> LineStoreFifo:
+        return self.fifos[image]
+
+    @property
+    def memory_blocks(self) -> int:
+        """Physical line-store blocks: lines x 2 banks (lower/upper).
+
+        For the 16-line configuration this is the paper's "32 memory
+        blocks ... implemented in the FPGA embedded memory".
+        """
+        return sum(f.capacity_lines for f in self.fifos) * 2
+
+    def reset(self) -> None:
+        for fifo in self.fifos:
+            fifo.reset()

@@ -1,0 +1,236 @@
+"""The Image Level Controller (ILC): top-level dataflow management.
+
+Paper section 3.2: *"The image level controller deals with the interrupt
+generation and manages as well all control blocks.  So it controls the
+data transfers between PC and the coprocessor."*  Concretely it:
+
+* schedules the strip-granular input DMA jobs into the alternating ZBT
+  blocks (block_A / block_B double buffering, Figure 3);
+* publishes strip availability to the input transmission units;
+* enables/disables the pixel level controller when the IIM runs dry or
+  the OIM fills (section 3.3);
+* holds processing back for "special inter operations" until both input
+  images are completely on the board (section 4.1);
+* performs the single result-bank switch and starts the result readback
+  "as soon as it is possible", i.e. when the input images are completely
+  stored and the PCI bus is free;
+* raises the completion interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..image.formats import STRIP_LINES
+from ..image.frame import Frame
+from .config import EngineConfig
+from .pci import DMAJob, PCIBus
+from .plc import PixelLevelController
+from .txu import InputTransmissionUnit, OutputTransmissionUnit
+from .zbt import ZBTMemory, ZBTLayout
+
+
+class ImageLevelController:
+    """Owns the call's control flow from first DMA word to final interrupt."""
+
+    def __init__(self, config: EngineConfig, zbt: ZBTMemory,
+                 layout: ZBTLayout, pci: PCIBus,
+                 plc: PixelLevelController,
+                 input_txus: List[InputTransmissionUnit],
+                 output_txu: Optional[OutputTransmissionUnit]) -> None:
+        self.config = config
+        self.zbt = zbt
+        self.layout = layout
+        self.pci = pci
+        self.plc = plc
+        self.input_txus = input_txus
+        self.output_txu = output_txu
+        self.input_strips_done = [0 for _ in input_txus]
+        self.input_complete = False
+        self.readback_started = False
+        self.readback_words: List[int] = []
+        self.readback_total_words = 0
+        self._bank_a_words_final = 0
+        self.completion_cycle: Optional[int] = None
+        #: Cycle at which the last input DMA word arrived (for the
+        #: PCI-overlap analysis of section 4.1).
+        self.input_complete_cycle: Optional[int] = None
+
+    # -- input scheduling ---------------------------------------------------------
+
+    def schedule_input(self, frames: List[Frame],
+                       resident: Optional[List[bool]] = None) -> None:
+        """Enqueue the strip DMA jobs, image-interleaved for inter mode.
+
+        Each strip is one interrupt-driven DMA job: the whole input image
+        "is not transferred in one pass but it is divided into parts which
+        are written to alternate ZBT blocks", so processing can start
+        while later strips are still in flight.
+
+        Images flagged ``resident`` already live in their ZBT banks from
+        a previous call (call chaining): they are preloaded directly,
+        marked fully available, and ship no DMA.
+        """
+        if len(frames) != self.config.images_in:
+            raise ValueError(
+                f"{self.config.mode.value} mode needs "
+                f"{self.config.images_in} input frames, got {len(frames)}")
+        resident = resident or [False] * len(frames)
+        if len(resident) != len(frames):
+            raise ValueError("one residency flag per input frame")
+        words = [frame.to_words() for frame in frames]
+        fmt = self.config.fmt
+        for image, flag in enumerate(resident):
+            if flag:
+                self._preload_resident(image, *words[image])
+        for strip_index in range(fmt.strips):
+            for image, (lower, upper) in enumerate(words):
+                if resident[image]:
+                    continue
+                self.pci.enqueue(self._strip_job(
+                    image, strip_index, lower, upper))
+        if all(resident):
+            self.input_complete = True
+
+    def _preload_resident(self, image: int, lower, upper) -> None:
+        """Place an already-on-board image into its banks (uncounted --
+        the words were written by the previous call)."""
+        fmt = self.config.fmt
+        from ..image.formats import STRIP_LINES
+        for y in range(fmt.height):
+            banks = self.layout.input_banks(image, y // STRIP_LINES)
+            for x in range(fmt.width):
+                address = self.layout.input_address(x, y)
+                self.zbt.poke(banks[0], address, int(lower[y, x]))
+                self.zbt.poke(banks[1], address, int(upper[y, x]))
+        self.input_strips_done[image] = fmt.strips
+        self.input_txus[image].strips_available = fmt.strips
+
+    def _strip_job(self, image: int, strip_index: int,
+                   lower: np.ndarray, upper: np.ndarray) -> DMAJob:
+        fmt = self.config.fmt
+        first_line = strip_index * STRIP_LINES
+        lines = min(STRIP_LINES, fmt.height - first_line)
+        total_words = lines * fmt.width * 2
+        banks = self.layout.input_banks(image, strip_index)
+
+        def transfer_word(word_index: int) -> bool:
+            pixel, phase = divmod(word_index, 2)
+            line = first_line + pixel // fmt.width
+            column = pixel % fmt.width
+            bank = banks[phase]
+            if not self.zbt.bank_free(bank):
+                return False
+            address = self.layout.input_address(column, line)
+            plane = lower if phase == 0 else upper
+            self.zbt.write(bank, address, int(plane[line, column]))
+            if word_index == total_words - 1:
+                self._strip_arrived(image)
+            return True
+
+        return DMAJob(label=f"in:img{image}:strip{strip_index}",
+                      total_words=total_words,
+                      transfer_word=transfer_word, to_board=True)
+
+    def _strip_arrived(self, image: int) -> None:
+        self.input_strips_done[image] += 1
+        self.input_txus[image].strips_available = \
+            self.input_strips_done[image]
+        fmt = self.config.fmt
+        if all(done == fmt.strips for done in self.input_strips_done):
+            self.input_complete = True
+
+    # -- per-cycle control --------------------------------------------------------
+
+    def control(self, cycle: int) -> None:
+        """The ILC's combinational decisions for this cycle.
+
+        Called after the DMA/TxU movement of the cycle and before the PLC
+        ticks, mirroring control signals settling ahead of the datapath.
+        """
+        if self.input_complete and self.input_complete_cycle is None:
+            self.input_complete_cycle = cycle
+
+        # PLC enable: data to read, space to write, and the special-inter
+        # hold-off until both images are completely on the board.
+        enabled = True
+        if self.config.requires_full_frames and not self.input_complete:
+            enabled = False
+        if self.output_txu is not None and self.plc.pu.oim.full:
+            enabled = False
+        self.plc.enabled = enabled
+
+        # Result readback: starts once the input is completely stored (the
+        # PCI bus is then free) -- with the one-time result bank switch.
+        if (not self.readback_started and self.input_complete
+                and self._can_switch()):
+            self._start_readback(cycle)
+
+        if (self.completion_cycle is None and self.call_done):
+            self.completion_cycle = cycle
+            self.pci.raise_interrupt(cycle, "call_done")
+
+    def _can_switch(self) -> bool:
+        # Result pixels are written atomically (both words in one cycle),
+        # so the switch can never split a pixel across banks.
+        return True
+
+    def _start_readback(self, cycle: int) -> None:
+        self.readback_started = True
+        fmt = self.config.fmt
+        if self.config.produces_image:
+            txu = self.output_txu
+            assert txu is not None
+            txu.switch_result_bank()
+            self._bank_a_words_final = txu.bank_words[0]
+            self.readback_total_words = fmt.pixels * 2
+            job = DMAJob(label="out:result-image",
+                         total_words=self.readback_total_words,
+                         transfer_word=self._read_result_word,
+                         to_board=False)
+        else:
+            # Scalar reduce result: two words (64-bit accumulator), ready
+            # only once every pixel-cycle has retired.
+            self.readback_total_words = 2
+            job = DMAJob(label="out:result-scalar",
+                         total_words=2,
+                         transfer_word=self._read_scalar_word,
+                         to_board=False)
+        self.pci.enqueue(job)
+        self.pci.raise_interrupt(cycle, "readback_start")
+
+    def _read_result_word(self, word_index: int) -> bool:
+        txu = self.output_txu
+        assert txu is not None
+        if word_index < self._bank_a_words_final:
+            slot, local = 0, word_index
+        else:
+            slot, local = 1, word_index - self._bank_a_words_final
+        if local >= txu.bank_words[slot]:
+            return False  # the word has not been produced yet
+        bank = self.layout.result_bank(slot == 1)
+        if not self.zbt.bank_free(bank):
+            return False
+        self.readback_words.append(self.zbt.read(bank, local))
+        return True
+
+    def _read_scalar_word(self, word_index: int) -> bool:
+        if not self.plc.done:
+            return False
+        accumulator = self.plc.pu.reduce_accumulator & 0xFFFFFFFFFFFFFFFF
+        word = (accumulator >> (32 * word_index)) & 0xFFFFFFFF
+        self.readback_words.append(word)
+        return True
+
+    # -- completion -----------------------------------------------------------------
+
+    @property
+    def call_done(self) -> bool:
+        """The call's completion condition."""
+        if not (self.input_complete and self.plc.done):
+            return False
+        if not self.readback_started:
+            return False
+        return len(self.readback_words) >= self.readback_total_words

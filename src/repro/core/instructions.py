@@ -1,0 +1,85 @@
+"""The micro-instruction vocabulary of the pixel level controller.
+
+Paper section 3.4/3.5: the datapath has four stages and *"in order to
+generate a result pixel one instruction has to be performed in each one
+of the stages"*; the PLC's control FSM *"generates the set of
+instructions to be performed in every pixel-cycle"*.
+
+A pixel-cycle is therefore a bundle of four instructions -- one per stage
+-- that the startpipeline overlaps with neighbouring pixel-cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class InstructionKind(Enum):
+    """Micro-instructions, tagged with the datapath stage executing them."""
+
+    #: Stage 1: advance the pixel position counters (image scanning).
+    SCAN = 1
+    #: Stage 2: fill the whole matrix register from the IIM.
+    LOAD = 2
+    #: Stage 2: slide the matrix register, fetching only fresh pixels.
+    SHIFT = 2
+    #: Stage 3: execute the configured pixel operation.
+    OP = 3
+    #: Stage 4: store the result pixel into the OIM.
+    STORE = 4
+
+    @property
+    def stage(self) -> int:
+        return self.value
+
+
+#: Datapath resources the arbiter guards.  Each instruction kind claims a
+#: fixed resource; two same-cycle claims on one resource are a control bug.
+RESOURCE_OF = {
+    InstructionKind.SCAN: "position_counters",
+    InstructionKind.LOAD: "iim_port",
+    InstructionKind.SHIFT: "iim_port",
+    InstructionKind.OP: "alu",
+    InstructionKind.STORE: "oim_port",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One micro-instruction of one pixel-cycle."""
+
+    kind: InstructionKind
+    #: The pixel-cycle (issue sequence number) this instruction belongs to.
+    pixel_cycle: int
+    #: The frame position the pixel-cycle targets.
+    position: Tuple[int, int]
+
+    @property
+    def stage(self) -> int:
+        return self.kind.stage
+
+    @property
+    def resource(self) -> str:
+        return RESOURCE_OF[self.kind]
+
+    def __str__(self) -> str:
+        x, y = self.position
+        return f"{self.kind.name}#{self.pixel_cycle}@({x},{y})"
+
+
+def bundle_for(pixel_cycle: int, position: Tuple[int, int],
+               row_start: bool) -> Tuple[Instruction, ...]:
+    """The four-instruction bundle of one pixel-cycle.
+
+    Stage 2 uses LOAD at scan-row starts (the matrix has no reusable
+    content) and SHIFT elsewhere.
+    """
+    fetch = InstructionKind.LOAD if row_start else InstructionKind.SHIFT
+    return (
+        Instruction(InstructionKind.SCAN, pixel_cycle, position),
+        Instruction(fetch, pixel_cycle, position),
+        Instruction(InstructionKind.OP, pixel_cycle, position),
+        Instruction(InstructionKind.STORE, pixel_cycle, position),
+    )

@@ -1,0 +1,98 @@
+"""The matrix register: stage 2's neighbourhood holding registers.
+
+Paper section 3.5: *"In the matrix register is stored the whole
+neighbourhood that will be input for the next stage.  These instructions
+are divided into two sets: LOAD instructions and SHIFT instructions
+depending on whether they fill the whole matrix from scratch or whether
+they only add some pixels shifting the pixels that were already in the
+matrix."*
+
+The model stores full 64-bit pixels per neighbourhood offset and counts
+LOAD vs SHIFT events plus how many pixels each fetched from the IIM --
+the pixel-reuse evidence behind the memory architecture's Table 2 win.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..addresslib.addressing import Neighbourhood
+
+#: A pixel as its two ZBT words: (lower, upper).
+PixelWords = Tuple[int, int]
+
+
+class MatrixRegister:
+    """Neighbourhood registers, one pixel slot per offset."""
+
+    def __init__(self, neighbourhood: Neighbourhood) -> None:
+        self.neighbourhood = neighbourhood
+        self._slots: Dict[Tuple[int, int], PixelWords] = {}
+        self.load_count = 0
+        self.shift_count = 0
+        self.pixels_fetched = 0
+
+    @property
+    def size(self) -> int:
+        return self.neighbourhood.size
+
+    def load(self, values: Dict[Tuple[int, int], PixelWords]) -> None:
+        """LOAD: fill the whole matrix from scratch (row starts, seeks)."""
+        self._check_offsets(values)
+        if len(values) != self.size:
+            raise ValueError(
+                f"LOAD must fill all {self.size} slots, got {len(values)}")
+        self._slots = dict(values)
+        self.load_count += 1
+        self.pixels_fetched += len(values)
+
+    def shift(self, step: Tuple[int, int],
+              fresh: Dict[Tuple[int, int], PixelWords]) -> None:
+        """SHIFT: slide the window by ``step``, adding only ``fresh`` pixels.
+
+        Slots whose shifted source falls outside the window must be
+        supplied in ``fresh``; everything else is reused in place.
+        """
+        self._check_offsets(fresh)
+        moved: Dict[Tuple[int, int], PixelWords] = {}
+        for offset in self.neighbourhood.offsets:
+            source = (offset[0] + step[0], offset[1] + step[1])
+            if source in self._slots and offset not in fresh:
+                moved[offset] = self._slots[source]
+        moved.update(fresh)
+        missing = [off for off in self.neighbourhood.offsets
+                   if off not in moved]
+        if missing:
+            raise ValueError(
+                f"SHIFT by {step} leaves slots {missing} unfilled; "
+                f"fresh pixels provided: {sorted(fresh)}")
+        self._slots = moved
+        self.shift_count += 1
+        self.pixels_fetched += len(fresh)
+
+    def value(self, offset: Tuple[int, int]) -> PixelWords:
+        """The pixel currently held for ``offset``."""
+        if offset not in self._slots:
+            raise KeyError(f"matrix slot {offset} is empty")
+        return self._slots[offset]
+
+    def snapshot(self) -> Dict[Tuple[int, int], PixelWords]:
+        """Copy of all filled slots (the bundle handed to stage 3)."""
+        return dict(self._slots)
+
+    @property
+    def filled(self) -> bool:
+        return len(self._slots) == self.size
+
+    def _check_offsets(self, values: Dict[Tuple[int, int], PixelWords]) -> None:
+        for offset in values:
+            if offset not in self.neighbourhood.offsets:
+                raise KeyError(
+                    f"offset {offset} not part of neighbourhood "
+                    f"{self.neighbourhood.name}")
+
+    def reset(self) -> None:
+        self._slots.clear()
+        self.load_count = 0
+        self.shift_count = 0
+        self.pixels_fetched = 0

@@ -1,0 +1,85 @@
+"""The Output Intermediate Memory (OIM): the result-side buffer.
+
+Paper section 3.1: *"The OIM has exactly the same structure as the IIM,
+but it is needed because of different reasons.  It is used as a buffer
+structure because there are different speeds at the interface processor
+unit output - ZBT memory, since the processing unit provides pixels in
+twice the speed than can be written to the ZBT memory."*
+
+The rate mismatch in the model: the process unit retires one result pixel
+per cycle, while the output transmission unit writes the two words of a
+result pixel *sequentially into the same ZBT bank* (so the PC reads them
+back properly ordered) -- half a pixel per cycle.  The OIM absorbs the
+difference; its FULL signal back-pressures the pixel level controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class OutputIntermediateMemory:
+    """A pixel FIFO between the process unit and the output TxU.
+
+    Capacity is expressed in lines (same 16-line structure as the IIM);
+    internally it is a simple ordered queue of result pixels, which is
+    how the sequential result stream behaves.
+    """
+
+    def __init__(self, width: int, capacity_lines: int) -> None:
+        if capacity_lines <= 0 or width <= 0:
+            raise ValueError("OIM dimensions must be positive")
+        self.width = width
+        self.capacity_lines = capacity_lines
+        self._queue: Deque[Tuple[int, int, int]] = deque()
+        #: High-water mark, in pixels (for occupancy assertions in tests).
+        self.peak_occupancy = 0
+
+    @property
+    def capacity_pixels(self) -> int:
+        return self.width * self.capacity_lines
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """FULL handshake: the PLC must not start pixel-cycles that would
+        overflow the OIM."""
+        return len(self._queue) >= self.capacity_pixels
+
+    @property
+    def empty(self) -> bool:
+        """EMPTY handshake for the output transmission unit."""
+        return not self._queue
+
+    @property
+    def memory_blocks(self) -> int:
+        """Physical blocks: lines x 2 banks, mirroring the IIM structure."""
+        return self.capacity_lines * 2
+
+    def push(self, pixel_index: int, lower: int, upper: int) -> None:
+        """Stage 4 stores one result pixel (both words) into the OIM."""
+        if self.full:
+            raise RuntimeError("OIM overflow: PLC should have been halted")
+        self._queue.append((pixel_index, lower & 0xFFFFFFFF,
+                            upper & 0xFFFFFFFF))
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+
+    def front(self) -> Tuple[int, int, int]:
+        """Peek the oldest result pixel ``(pixel_index, lower, upper)``."""
+        if not self._queue:
+            raise RuntimeError("OIM underflow")
+        return self._queue[0]
+
+    def pop(self) -> Tuple[int, int, int]:
+        """Remove and return the oldest result pixel."""
+        if not self._queue:
+            raise RuntimeError("OIM underflow")
+        return self._queue.popleft()
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self.peak_occupancy = 0

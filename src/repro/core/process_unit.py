@@ -1,0 +1,262 @@
+"""The Process Unit: the four-stage datapath (paper section 3.5).
+
+* **Stage 1** scans the image: the position counters compute the centre
+  of the next pixel-cycle's neighbourhood.
+* **Stage 2** fetches data from the IIM into the matrix register, via
+  LOAD (whole matrix) or SHIFT (fresh pixels only) instructions.
+* **Stage 3** executes the pixel operation on the neighbourhood
+  (gradient, histogram, filters, ...).
+* **Stage 4** stores the result pixel into the OIM.
+
+The :class:`ProcessUnit` is the datapath only: each ``stage*`` method is
+one instruction's worth of work, invoked by the pixel level controller
+(:mod:`repro.core.plc`), which owns sequencing, hazards and stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..addresslib.addressing import AddressingMode, ScanOrder
+from ..addresslib.executor import channels_of
+from ..image.pixel import Channel
+from .config import EngineConfig
+from .iim import InputIntermediateMemory
+from .matrix_register import MatrixRegister, PixelWords
+from .oim import OutputIntermediateMemory
+
+#: Bit layout of the colour channels inside the lower ZBT word.
+_CHANNEL_SHIFT = {Channel.Y: 0, Channel.U: 8, Channel.V: 16}
+
+
+def _extract(words: PixelWords, channel: Channel) -> int:
+    lower, upper = words
+    if channel in _CHANNEL_SHIFT:
+        return (lower >> _CHANNEL_SHIFT[channel]) & 0xFF
+    if channel is Channel.ALFA:
+        return upper & 0xFFFF
+    return (upper >> 16) & 0xFFFF
+
+
+def _insert(lower: int, channel: Channel, value: int) -> int:
+    shift = _CHANNEL_SHIFT[channel]
+    return (lower & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+
+@dataclass
+class PixelBundle:
+    """Stage 2's output: everything stage 3 needs for one pixel-cycle."""
+
+    pixel_cycle: int
+    position: Tuple[int, int]
+    #: Centre pixel of the (first) input image, for channel pass-through.
+    center_words: PixelWords
+    #: Intra: neighbourhood values per channel, in offset order.
+    values: Dict[Channel, List[int]] = field(default_factory=dict)
+    #: Inter: the second image's centre-pixel channel values.
+    inter_b: Optional[Dict[Channel, int]] = None
+
+
+@dataclass
+class ResultPixel:
+    """Stage 3's output: the packed result pixel."""
+
+    pixel_cycle: int
+    position: Tuple[int, int]
+    lower: int
+    upper: int
+
+
+class ScanCounters:
+    """Stage 1's position counters: the raster scan over the frame."""
+
+    def __init__(self, config: EngineConfig) -> None:
+        self._config = config
+        self._fmt = config.fmt
+        self._scan = config.scan
+        self._index = 0
+
+    @property
+    def total_pixels(self) -> int:
+        return self._fmt.pixels
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= self.total_pixels
+
+    def advance(self) -> Tuple[Tuple[int, int], bool]:
+        """Produce the next ``(position, row_start)``; one SCAN instruction."""
+        if self.exhausted:
+            raise RuntimeError("scan already exhausted")
+        if self._scan is ScanOrder.HORIZONTAL:
+            y, x = divmod(self._index, self._fmt.width)
+            row_start = x == 0
+        else:
+            x, y = divmod(self._index, self._fmt.height)
+            row_start = y == 0
+        self._index += 1
+        return (x, y), row_start
+
+
+class ProcessUnit:
+    """The datapath: scan counters, matrix register(s), ALU, store port."""
+
+    def __init__(self, config: EngineConfig,
+                 iim: InputIntermediateMemory,
+                 oim: OutputIntermediateMemory) -> None:
+        self.config = config
+        self.iim = iim
+        self.oim = oim
+        self.scan = ScanCounters(config)
+        if config.mode is AddressingMode.INTRA:
+            self.matrix = MatrixRegister(config.op.neighbourhood)
+        else:
+            # Inter mode consumes one pixel per image per pixel-cycle;
+            # model it as a single-slot matrix for the first image.
+            from ..addresslib.addressing import CON_0
+            self.matrix = MatrixRegister(CON_0)
+        self.ops_executed = 0
+        self.results_stored = 0
+        #: Scalar accumulator for reduce calls (SAD register).
+        self.reduce_accumulator = 0
+        self._channels = channels_of(config.channels)
+
+    # -- stage 2 helpers ----------------------------------------------------------
+
+    def _clamped_line(self, y: int, dy: int) -> int:
+        return min(max(y + dy, 0), self.config.fmt.height - 1)
+
+    def _clamped_column(self, x: int, dx: int) -> int:
+        return min(max(x + dx, 0), self.config.fmt.width - 1)
+
+    def stage2_ready(self, position: Tuple[int, int]) -> bool:
+        """Whether the IIM holds every line this pixel-cycle needs.
+
+        When it does not, the image level controller keeps the PLC halted
+        -- the FULL/EMPTY handshake of section 3.3.
+        """
+        x, y = position
+        del x
+        if self.config.mode is AddressingMode.INTER:
+            return all(fifo.lines_resident(y, y) for fifo in self.iim.fifos)
+        min_dx, min_dy, max_dx, max_dy = \
+            self.config.op.neighbourhood.bounding_box()
+        del min_dx, max_dx
+        first = self._clamped_line(y, min_dy)
+        last = self._clamped_line(y, max_dy)
+        return self.iim.fifo(0).lines_resident(first, last)
+
+    def stage2_fetch(self, pixel_cycle: int, position: Tuple[int, int],
+                     row_start: bool) -> PixelBundle:
+        """Execute the LOAD or SHIFT instruction: IIM -> matrix register.
+
+        All needed pixels arrive in this single cycle -- the IIM's
+        parallel line stores make even the perpendicular worst case
+        (Figure 4) a one-cycle fetch.
+        """
+        if self.config.mode is AddressingMode.INTER:
+            return self._stage2_fetch_inter(pixel_cycle, position, row_start)
+        return self._stage2_fetch_intra(pixel_cycle, position, row_start)
+
+    def _stage2_fetch_intra(self, pixel_cycle: int,
+                            position: Tuple[int, int],
+                            row_start: bool) -> PixelBundle:
+        x, y = position
+        neighbourhood = self.config.op.neighbourhood
+        fifo = self.iim.fifo(0)
+
+        def read(offset: Tuple[int, int]) -> PixelWords:
+            column = self._clamped_column(x, offset[0])
+            line = self._clamped_line(y, offset[1])
+            return fifo.read_pixel(column, line)
+
+        if row_start or not self.matrix.filled:
+            self.matrix.load({off: read(off)
+                              for off in neighbourhood.offsets})
+        else:
+            step = ((1, 0) if self.config.scan is ScanOrder.HORIZONTAL
+                    else (0, 1))
+            fresh_offsets = neighbourhood.fresh_offsets(self.config.scan)
+            self.matrix.shift(step, {off: read(off)
+                                     for off in fresh_offsets})
+        snapshot = self.matrix.snapshot()
+        values = {
+            channel: [_extract(snapshot[off], channel)
+                      for off in neighbourhood.offsets]
+            for channel in self._channels
+        }
+        self._release_dead_lines(y, row_start)
+        return PixelBundle(pixel_cycle=pixel_cycle, position=position,
+                           center_words=snapshot[(0, 0)], values=values)
+
+    def _stage2_fetch_inter(self, pixel_cycle: int,
+                            position: Tuple[int, int],
+                            row_start: bool) -> PixelBundle:
+        x, y = position
+        words_a = self.iim.fifo(0).read_pixel(x, y)
+        words_b = self.iim.fifo(1).read_pixel(x, y)
+        if row_start or not self.matrix.filled:
+            self.matrix.load({(0, 0): words_a})
+        else:
+            step = ((1, 0) if self.config.scan is ScanOrder.HORIZONTAL
+                    else (0, 1))
+            self.matrix.shift(step, {(0, 0): words_a})
+        values = {channel: [_extract(words_a, channel)]
+                  for channel in self._channels}
+        inter_b = {channel: _extract(words_b, channel)
+                   for channel in self._channels}
+        self._release_dead_lines(y, row_start)
+        return PixelBundle(pixel_cycle=pixel_cycle, position=position,
+                           center_words=words_a, values=values,
+                           inter_b=inter_b)
+
+    def _release_dead_lines(self, y: int, row_start: bool) -> None:
+        """Retire IIM lines the rest of the scan can no longer touch."""
+        if not row_start:
+            return
+        if self.config.mode is AddressingMode.INTER:
+            last_dead = y - 1
+        else:
+            min_dy = self.config.op.neighbourhood.bounding_box()[1]
+            last_dead = y + min_dy - 1
+        if last_dead >= 0:
+            for fifo in self.iim.fifos:
+                fifo.release_through(last_dead)
+
+    # -- stage 3 --------------------------------------------------------------------
+
+    def stage3_execute(self, bundle: PixelBundle) -> Optional[ResultPixel]:
+        """Execute the OP instruction; ``None`` when reducing to a scalar."""
+        self.ops_executed += 1
+        lower, upper = bundle.center_words
+        if self.config.mode is AddressingMode.INTER:
+            assert bundle.inter_b is not None
+            results = {
+                channel: self.config.op.apply_scalar(
+                    bundle.values[channel][0], bundle.inter_b[channel])
+                for channel in self._channels
+            }
+        else:
+            results = {
+                channel: self.config.op.apply_scalar(bundle.values[channel])
+                for channel in self._channels
+            }
+        if self.config.reduce_to_scalar:
+            self.reduce_accumulator += sum(results.values())
+            return None
+        for channel, value in results.items():
+            lower = _insert(lower, channel, value)
+        return ResultPixel(pixel_cycle=bundle.pixel_cycle,
+                           position=bundle.position,
+                           lower=lower, upper=upper)
+
+    # -- stage 4 --------------------------------------------------------------------
+
+    def stage4_store(self, result: ResultPixel) -> None:
+        """Execute the STORE instruction: result pixel into the OIM."""
+        fmt = self.config.fmt
+        x, y = result.position
+        pixel_index = y * fmt.width + x
+        self.oim.push(pixel_index, result.lower, result.upper)
+        self.results_stored += 1

@@ -1,0 +1,157 @@
+"""Dynamic partial reconfiguration of the pixel-processing block.
+
+Paper section 5 (outlook): *"The pixel addressing will be implemented in
+a statically configured block of the FPGA, as all supported algorithms
+are using the same AddressLib scheme, whereas the pixel processing,
+which might be changed during the process of video analysis, will be
+implemented in a dynamically reconfigurable block."*
+
+This module models that split so the trade-off can be quantified:
+
+* the **static region** (addressing: IIM/OIM, TxUs, PLC, ILC, PCI) never
+  reconfigures;
+* the **dynamic region** hosts exactly one pixel operation; switching
+  operations costs a partial-bitstream load through the configuration
+  port (SelectMAP/ICAP-class bandwidth), proportional to the region's
+  frame count;
+* the alternative -- a *statically configured* device (the v1 situation)
+  -- must load a **full** bitstream to change the hardwired operation,
+  or keep the operation on the host.
+
+:class:`ReconfigurableEngine` wraps an :class:`AddressEngine` and an
+operation schedule, accounting reconfiguration time between calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..addresslib.ops import InterOp, IntraOp
+from .engine import AddressEngine, EngineRunResult
+from .pci import PCI_CLOCK_HZ
+
+#: Full-device configuration bitstream of the XC2V3000, in bytes
+#: (Virtex-II data sheet: 10,494,368 bits).
+FULL_BITSTREAM_BYTES = 10_494_368 // 8
+
+#: Configuration port bandwidth, bytes/second (SelectMAP at 50 MHz,
+#: 8 bits per cycle -- the Virtex-II generation's fast config path).
+CONFIG_BANDWIDTH_BYTES_PER_S = 50_000_000
+
+#: Partial bitstream of the dynamic pixel-processing region, in bytes.
+#: Virtex-II reconfigures in full-height frames; a 4-CLB-column region
+#: of the 2V3000 is on the order of 1.5 % of the device.
+PARTIAL_BITSTREAM_BYTES = int(FULL_BITSTREAM_BYTES * 0.015)
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Times to change the operation in the dynamic region."""
+
+    partial_bitstream_bytes: int = PARTIAL_BITSTREAM_BYTES
+    full_bitstream_bytes: int = FULL_BITSTREAM_BYTES
+    config_bandwidth: float = CONFIG_BANDWIDTH_BYTES_PER_S
+
+    @property
+    def partial_seconds(self) -> float:
+        """Swap the pixel operation: load only the dynamic region."""
+        return self.partial_bitstream_bytes / self.config_bandwidth
+
+    @property
+    def full_seconds(self) -> float:
+        """The static alternative: reload the whole device."""
+        return self.full_bitstream_bytes / self.config_bandwidth
+
+    @property
+    def speedup(self) -> float:
+        """How much faster an operation swap becomes with partial
+        dynamic reconfiguration."""
+        return self.full_seconds / self.partial_seconds
+
+
+@dataclass
+class ScheduleReport:
+    """Accounting of one operation schedule on a reconfigurable engine."""
+
+    calls: int
+    reconfigurations: int
+    call_seconds: float
+    reconfig_seconds: float
+    per_op_calls: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.call_seconds + self.reconfig_seconds
+
+    @property
+    def reconfig_fraction(self) -> float:
+        total = self.total_seconds
+        if total == 0:
+            return 0.0
+        return self.reconfig_seconds / total
+
+
+class ReconfigurableEngine:
+    """An AddressEngine whose stage-3 operation lives in a dynamic region.
+
+    ``run_schedule`` executes a sequence of (config, frames) calls,
+    inserting a partial reconfiguration whenever the operation changes.
+    With ``dynamic=False`` it models the static device instead: every
+    operation change costs a full-device bitstream load.
+    """
+
+    def __init__(self, engine: Optional[AddressEngine] = None,
+                 model: Optional[ReconfigurationModel] = None,
+                 dynamic: bool = True,
+                 clock_hz: float = PCI_CLOCK_HZ) -> None:
+        self.engine = engine or AddressEngine()
+        self.model = model or ReconfigurationModel()
+        self.dynamic = dynamic
+        self.clock_hz = clock_hz
+        self._loaded_op: Optional[str] = None
+        self.reconfigurations = 0
+        self.reconfig_seconds = 0.0
+
+    def _ensure_op(self, op: Union[InterOp, IntraOp]) -> None:
+        if self._loaded_op == op.name:
+            return
+        if self._loaded_op is not None:
+            cost = (self.model.partial_seconds if self.dynamic
+                    else self.model.full_seconds)
+            self.reconfig_seconds += cost
+            self.reconfigurations += 1
+        self._loaded_op = op.name
+
+    def run_call(self, config, frame_a, frame_b=None) -> EngineRunResult:
+        """One call, paying a reconfiguration first if the op changed."""
+        self._ensure_op(config.op)
+        return self.engine.run_call(config, frame_a, frame_b)
+
+    def run_schedule(self, calls: List[Tuple],
+                     use_cycle_model: bool = False) -> ScheduleReport:
+        """Execute ``[(config, frame_a[, frame_b]), ...]``.
+
+        With ``use_cycle_model=False`` (default) call times come from
+        the closed-form timing model, so long schedules stay cheap.
+        """
+        from ..perf.timing import EngineTimingModel
+        timing = EngineTimingModel(clock_hz=self.clock_hz)
+        call_seconds = 0.0
+        per_op: Dict[str, int] = {}
+        for entry in calls:
+            config = entry[0]
+            self._ensure_op(config.op)
+            per_op[config.op_name] = per_op.get(config.op_name, 0) + 1
+            if use_cycle_model:
+                frames = entry[1:]
+                run = self.engine.run_call(config, *frames)
+                call_seconds += run.seconds
+            else:
+                call_seconds += timing.board_seconds(config)
+        return ScheduleReport(
+            calls=len(calls),
+            reconfigurations=self.reconfigurations,
+            call_seconds=call_seconds,
+            reconfig_seconds=self.reconfig_seconds,
+            per_op_calls=per_op)

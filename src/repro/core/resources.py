@@ -1,0 +1,242 @@
+"""FPGA resource and timing estimation (Table 1).
+
+We cannot synthesise for a Virtex-II with ISE 6, so per DESIGN.md this
+module substitutes a *structural estimator*: the v1 engine's module
+inventory (exactly the blocks of Figures 2/5/6) with per-module resource
+figures calibrated against the paper's published synthesis results.  The
+BRAM budget is derived from the architecture (line stores and FIFOs);
+the logic figures are calibrated constants.  What the estimator preserves
+is the paper's *shape*: a tiny logic footprint (<= 3 % of the device),
+BRAM as the dominant resource (~30 %, driven by the IIM/OIM line
+stores), one global clock, and a maximum frequency comfortably above the
+66 MHz PCI clock.
+
+Device data for the XC2V3000 (speed grade -5) comes from the Virtex-II
+data sheet: 14336 slices, 28672 slice flip-flops, 28672 4-input LUTs,
+720 bonded IOBs, 96 block RAMs, 16 global clock buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .config import EngineConfig, IIM_LINES, OIM_LINES
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Resource usage of one module (or a summed design)."""
+
+    slices: int = 0
+    flip_flops: int = 0
+    luts: int = 0
+    iobs: int = 0
+    brams: int = 0
+    gclks: int = 0
+
+    def plus(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            slices=self.slices + other.slices,
+            flip_flops=self.flip_flops + other.flip_flops,
+            luts=self.luts + other.luts,
+            iobs=self.iobs + other.iobs,
+            brams=self.brams + other.brams,
+            gclks=self.gclks + other.gclks)
+
+
+@dataclass(frozen=True)
+class ModuleEstimate:
+    """A named architecture block and its resources."""
+
+    name: str
+    resources: ResourceEstimate
+
+
+@dataclass(frozen=True)
+class DeviceCapacity:
+    """Available resources of the target FPGA."""
+
+    name: str
+    slices: int
+    flip_flops: int
+    luts: int
+    iobs: int
+    brams: int
+    gclks: int
+
+
+#: The prototype's device: Virtex-II XC2V3000, package FF1152, speed -5.
+XC2V3000 = DeviceCapacity(name="2v3000ff1152-5", slices=14336,
+                          flip_flops=28672, luts=28672, iobs=720,
+                          brams=96, gclks=16)
+
+#: Bits per Virtex-II block RAM.
+BRAM_BITS = 18 * 1024
+
+#: DMA interface FIFOs between the PCI core and the ZBT side: two BRAMs
+#: each for the inbound and outbound stream.
+DMA_FIFO_BRAMS = 4
+
+#: The PLC control FSM keeps its pixel-cycle instruction sequences in one
+#: embedded memory block.
+CONTROL_STORE_BRAMS = 1
+
+
+def iim_brams(lines: int = IIM_LINES) -> int:
+    """Block RAMs of the IIM: one per line (the lower/upper line-store
+    pair of one line packs into a single dual-port BRAM)."""
+    return lines
+
+
+def oim_brams(lines: int = OIM_LINES) -> int:
+    """Block RAMs of the OIM: the sequential result stream needs half the
+    IIM's parallelism, so line pairs share blocks."""
+    return lines // 2
+
+
+def v1_module_inventory(iim_lines: int = IIM_LINES,
+                        oim_lines: int = OIM_LINES) -> List[ModuleEstimate]:
+    """The v1 engine's blocks with calibrated resource figures.
+
+    The module list follows the architecture exactly (Figure 2's blocks
+    plus the PLC internals of Figure 5 and the datapath stages of Figure
+    6); the logic constants are calibrated to the ISE 6 synthesis of
+    Table 1 and the BRAM counts derive from the memory structure.
+    """
+    def estimate(name, slices, ff, lut, iob=0, bram=0, gclk=0):
+        return ModuleEstimate(name, ResourceEstimate(
+            slices=slices, flip_flops=ff, luts=lut, iobs=iob, brams=bram,
+            gclks=gclk))
+
+    return [
+        estimate("pci_interface", 90, 40, 55, iob=52),
+        estimate("dma_fifos", 24, 10, 14, bram=DMA_FIFO_BRAMS),
+        estimate("image_level_controller", 60, 22, 38, iob=8),
+        estimate("input_txu", 38, 14, 24),
+        estimate("output_txu", 34, 12, 22),
+        estimate("iim_line_stores", 48, 16, 30, bram=iim_brams(iim_lines)),
+        estimate("oim_line_stores", 40, 14, 26, bram=oim_brams(oim_lines)),
+        estimate("plc_control_fsm", 52, 20, 34, bram=CONTROL_STORE_BRAMS),
+        estimate("plc_instruction_fsm", 44, 18, 28),
+        estimate("plc_arbiter", 28, 10, 18),
+        estimate("plc_startpipeline", 26, 12, 16),
+        estimate("pu_stage1_scan_counters", 30, 12, 16),
+        estimate("pu_stage2_matrix_register", 22, 8, 12),
+        estimate("pu_stage3_alu", 20, 6, 12),
+        estimate("pu_stage4_store", 8, 2, 4),
+        estimate("clock_distribution", 0, 0, 0, gclk=1),
+    ]
+
+
+def total_resources(modules: List[ModuleEstimate]) -> ResourceEstimate:
+    total = ResourceEstimate()
+    for module in modules:
+        total = total.plus(module.resources)
+    return total
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Static timing of the critical path (the stage-3 ALU cone).
+
+    Minimum period = clock-to-out + levels x (LUT + routing) + setup.
+    Constants calibrated to the ISE 6 report of Table 1.
+    """
+
+    clock_to_out_ns: float = 0.424
+    setup_ns: float = 1.060
+    logic_levels: int = 5
+    lut_delay_ns: float = 0.440
+    route_delay_ns: float = 1.220
+
+    @property
+    def min_period_ns(self) -> float:
+        return (self.clock_to_out_ns + self.setup_ns
+                + self.logic_levels
+                * (self.lut_delay_ns + self.route_delay_ns))
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        return 1000.0 / self.min_period_ns
+
+
+@dataclass
+class UtilizationReport:
+    """A Table 1-style device utilisation summary."""
+
+    device: DeviceCapacity
+    modules: List[ModuleEstimate]
+    timing: TimingModel
+
+    @property
+    def totals(self) -> ResourceEstimate:
+        return total_resources(self.modules)
+
+    def utilization_percent(self) -> Dict[str, float]:
+        totals = self.totals
+        return {
+            "slices": 100.0 * totals.slices / self.device.slices,
+            "flip_flops": 100.0 * totals.flip_flops / self.device.flip_flops,
+            "luts": 100.0 * totals.luts / self.device.luts,
+            "iobs": 100.0 * totals.iobs / self.device.iobs,
+            "brams": 100.0 * totals.brams / self.device.brams,
+            "gclks": 100.0 * totals.gclks / self.device.gclks,
+        }
+
+    def rows(self) -> List[tuple]:
+        """``(resource, used, available, percent)`` rows of Table 1."""
+        totals = self.totals
+        percent = self.utilization_percent()
+        return [
+            ("Number of Slices", totals.slices, self.device.slices,
+             percent["slices"]),
+            ("Number of Slice Flip Flops", totals.flip_flops,
+             self.device.flip_flops, percent["flip_flops"]),
+            ("Number of 4 input LUTs", totals.luts, self.device.luts,
+             percent["luts"]),
+            ("Number of bonded IOBs", totals.iobs, self.device.iobs,
+             percent["iobs"]),
+            ("Number of BRAMs", totals.brams, self.device.brams,
+             percent["brams"]),
+            ("Number of GCLKs", totals.gclks, self.device.gclks,
+             percent["gclks"]),
+        ]
+
+    def render(self) -> str:
+        """Human-readable summary matching the paper's Table 1 layout."""
+        lines = ["Device utilization summary:",
+                 f"Selected Device : {self.device.name}", ""]
+        for name, used, available, percent in self.rows():
+            # ISE truncates utilisation percentages; match Table 1 exactly.
+            lines.append(f"{name:<34s} {used:>6d} out of {available:>6d}"
+                         f" {int(percent):>5d}%")
+        lines.append("")
+        lines.append("Timing Summary:")
+        lines.append(
+            f"Minimum period: {self.timing.min_period_ns:.3f}ns "
+            f"(Maximum Frequency: {self.timing.max_frequency_mhz:.3f}MHz)")
+        return "\n".join(lines)
+
+
+def v1_utilization_report(config: EngineConfig = None) -> UtilizationReport:
+    """The Table 1 report for the v1 engine (config currently only sizes
+    the intermediate memories)."""
+    del config  # v1 is statically sized; kept for future variants
+    return UtilizationReport(device=XC2V3000,
+                             modules=v1_module_inventory(),
+                             timing=TimingModel())
+
+
+def v2_utilization_report() -> UtilizationReport:
+    """The outlook design: v1 plus the segment-addressing unit.
+
+    Checks the paper's remark that "there is enough free memory for a
+    possible extension of the design with other addressing schemes": the
+    extension adds a few BRAMs and stays far inside the device.
+    """
+    from .segment_unit import v2_module_additions
+    return UtilizationReport(
+        device=XC2V3000,
+        modules=v1_module_inventory() + v2_module_additions(),
+        timing=TimingModel())

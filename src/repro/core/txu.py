@@ -1,0 +1,130 @@
+"""Transmission units: line movers between the ZBT and the IIM/OIM.
+
+Paper section 3.2: *"The transmission unit controls the transfer of lines
+from the ZBT memory to the intermediate memory system, in both the OIM-
+and the IIM structure."*
+
+* :class:`InputTransmissionUnit` -- one per input image; streams pixels of
+  the next needed line from the image's ZBT bank pair into its IIM FIFO,
+  one pixel per cycle (lower and upper words read from the two sibling
+  banks in the same cycle).
+* :class:`OutputTransmissionUnit` -- drains the OIM into the result banks
+  at one *pixel* per cycle: the two words of a result pixel are written
+  back-to-back into the same bank (using the memory domain's double rate)
+  so the PC reads them back properly ordered.  The process unit retires up
+  to two pixel-cycles per clock, so this is the 2x speed mismatch against
+  the processing rate that the OIM exists to absorb.
+"""
+
+from __future__ import annotations
+
+from ..image.formats import STRIP_LINES
+from .iim import LineStoreFifo
+from .oim import OutputIntermediateMemory
+from .zbt import ZBTMemory, ZBTLayout
+
+
+class InputTransmissionUnit:
+    """Streams one input image from its ZBT blocks into its IIM FIFO."""
+
+    def __init__(self, zbt: ZBTMemory, layout: ZBTLayout, image: int,
+                 fifo: LineStoreFifo) -> None:
+        self.zbt = zbt
+        self.layout = layout
+        self.image = image
+        self.fifo = fifo
+        self._line = 0
+        self._column = 0
+        #: Set by the image level controller: strips fully present in ZBT.
+        self.strips_available = 0
+        self.pixels_moved = 0
+        self.stall_no_strip = 0
+        self.stall_iim_full = 0
+        self.stall_bank_busy = 0
+
+    @property
+    def done(self) -> bool:
+        return self._line >= self.layout.fmt.height
+
+    def tick(self) -> bool:
+        """Move one pixel ZBT -> IIM if possible; returns whether it did."""
+        if self.done:
+            return False
+        strip_index = self._line // STRIP_LINES
+        if strip_index >= self.strips_available:
+            self.stall_no_strip += 1
+            return False
+        if not self.fifo.can_accept_pixel():
+            self.stall_iim_full += 1
+            return False
+        banks = self.layout.input_banks(self.image, strip_index)
+        if not self.zbt.banks_free(banks):
+            self.stall_bank_busy += 1
+            return False
+        address = self.layout.input_address(self._column, self._line)
+        lower = self.zbt.read(banks[0], address)
+        upper = self.zbt.read(banks[1], address)
+        self.zbt.count_pixel_op()
+        self.fifo.push_pixel(lower, upper)
+        self.pixels_moved += 1
+        self._column += 1
+        if self._column == self.layout.fmt.width:
+            self._column = 0
+            self._line += 1
+        return True
+
+
+class OutputTransmissionUnit:
+    """Drains the OIM into the result banks, one 32-bit word per cycle."""
+
+    def __init__(self, zbt: ZBTMemory, layout: ZBTLayout,
+                 oim: OutputIntermediateMemory) -> None:
+        self.zbt = zbt
+        self.layout = layout
+        self.oim = oim
+        self._switched = False
+        #: Sequence index of the next result pixel within the active bank.
+        self._bank_pixel_index = [0, 0]
+        self.pixels_written = 0
+        self.words_written = 0
+        #: Words written per result bank (the readback DMA's high-water mark).
+        self.bank_words = [0, 0]
+        self.stall_oim_empty = 0
+        self.stall_bank_busy = 0
+
+    @property
+    def switched(self) -> bool:
+        return self._switched
+
+    def switch_result_bank(self) -> None:
+        """The single Res_block_A -> Res_block_B switch, performed "as soon
+        as it is possible to start transferring the resulting image"."""
+        if self._switched:
+            raise RuntimeError("result bank switch already performed")
+        self._switched = True
+
+    @property
+    def _active_slot(self) -> int:
+        return 1 if self._switched else 0
+
+    def tick(self) -> bool:
+        """Write one result pixel (both words, same bank) OIM -> ZBT."""
+        if self.oim.empty:
+            self.stall_oim_empty += 1
+            return False
+        bank = self.layout.result_bank(self._switched)
+        if not self.zbt.bank_free(bank, ops=2):
+            self.stall_bank_busy += 1
+            return False
+        slot = self._active_slot
+        pixel_index, lower, upper = self.oim.pop()
+        del pixel_index
+        base = self._bank_pixel_index[slot]
+        self.zbt.write(bank, self.layout.result_address(base, 0), lower)
+        self.zbt.write(bank, self.layout.result_address(base, 1), upper)
+        self.zbt.count_pixel_op()
+        self.words_written += 2
+        self.bank_words[slot] += 2
+        self._bank_pixel_index[slot] += 1
+        self.pixels_written += 1
+        return True

@@ -1,0 +1,44 @@
+"""MPEG-7 Global Motion Estimation and mosaicing (the Table 3 workload)."""
+
+from .estimation import (GlobalMotionEstimator, GmeSettings, PairEstimate,
+                         PyramidLevel)
+from .mosaic import Mosaic
+from .motion_model import (AffineModel, PerspectiveModel,
+                           TranslationalModel, identity_like)
+from .sequences import (DOME, MOVIE, PAPER_TABLE3, PISA, SINGAPORE,
+                        SequenceSpec, SyntheticSequence, TABLE3_SEQUENCES,
+                        sequence_by_name)
+from .warp import decimate2, pyramid_shapes, sad, warp_luma
+from .xm import (GmeApplication, SequenceRunResult, Table3Row, XmCosts,
+                 evaluate_sequence_dual, xm_cost_model)
+
+__all__ = [
+    "AffineModel",
+    "DOME",
+    "GlobalMotionEstimator",
+    "GmeApplication",
+    "GmeSettings",
+    "MOVIE",
+    "Mosaic",
+    "PAPER_TABLE3",
+    "PISA",
+    "PairEstimate",
+    "PerspectiveModel",
+    "PyramidLevel",
+    "SINGAPORE",
+    "SequenceRunResult",
+    "SequenceSpec",
+    "SyntheticSequence",
+    "TABLE3_SEQUENCES",
+    "Table3Row",
+    "TranslationalModel",
+    "XmCosts",
+    "decimate2",
+    "evaluate_sequence_dual",
+    "identity_like",
+    "pyramid_shapes",
+    "sad",
+    "sequence_by_name",
+    "warp_luma",
+    "xm_cost_model",
+]

@@ -1,0 +1,85 @@
+"""Frame warping and pyramid resampling for global motion estimation.
+
+``warp_luma(luma, model)`` resamples a luminance plane so that pixel
+``(x, y)`` of the output holds the input sampled at ``model(x, y)``
+(bilinear interpolation, out-of-frame samples marked invalid).  The
+estimator aligns the *current* frame to the *reference* by warping with
+the current motion estimate; the validity mask keeps border pixels out
+of the residual statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def warp_luma(luma: np.ndarray, model, fill: float = 0.0,
+              output_shape: Tuple[int, int] = None
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Warp a luminance plane through a motion model.
+
+    Args:
+        luma: Source plane (any numeric dtype; promoted to float64).
+        model: A motion model with ``apply(xs, ys)``; maps *output*
+            coordinates to *source* coordinates.
+        fill: Value written where the source sample falls outside.
+        output_shape: ``(height, width)`` of the result; defaults to the
+            source shape.
+
+    Returns:
+        ``(warped, valid)`` -- the warped float64 plane and a boolean
+        mask of pixels whose source sample was fully inside the frame.
+    """
+    src_height, src_width = luma.shape
+    out_height, out_width = output_shape or luma.shape
+    source = luma.astype(np.float64)
+    ys, xs = np.mgrid[0:out_height, 0:out_width].astype(np.float64)
+    width, height = src_width, src_height
+    sx, sy = model.apply(xs, ys)
+
+    x0 = np.floor(sx).astype(np.int64)
+    y0 = np.floor(sy).astype(np.int64)
+    fx = sx - x0
+    fy = sy - y0
+    valid = (x0 >= 0) & (y0 >= 0) & (x0 < width - 1) & (y0 < height - 1)
+
+    x0c = np.clip(x0, 0, width - 2)
+    y0c = np.clip(y0, 0, height - 2)
+    top = (source[y0c, x0c] * (1 - fx)
+           + source[y0c, x0c + 1] * fx)
+    bottom = (source[y0c + 1, x0c] * (1 - fx)
+              + source[y0c + 1, x0c + 1] * fx)
+    warped = top * (1 - fy) + bottom * fy
+    warped = np.where(valid, warped, fill)
+    return warped, valid
+
+
+def decimate2(luma: np.ndarray) -> np.ndarray:
+    """Drop every second sample in both dimensions (after low-pass
+    filtering via the AddressLib box filter)."""
+    return luma[::2, ::2]
+
+
+def pyramid_shapes(height: int, width: int, levels: int):
+    """Shapes of a ``levels``-deep dyadic pyramid, finest first."""
+    shapes = []
+    h, w = height, width
+    for _ in range(levels):
+        shapes.append((h, w))
+        h = -(-h // 2)
+        w = -(-w // 2)
+    return shapes
+
+
+def sad(a: np.ndarray, b: np.ndarray, mask: np.ndarray = None) -> float:
+    """Reference sum-of-absolute-differences (float), optionally masked.
+
+    The production path computes SAD through an AddressLib inter call;
+    this helper is the float golden used in tests.
+    """
+    diff = np.abs(a.astype(np.float64) - b.astype(np.float64))
+    if mask is not None:
+        diff = diff[mask]
+    return float(diff.sum())

@@ -1,0 +1,18 @@
+"""Host-side runtime: driver, engine backend, evaluation platforms."""
+
+from .backend import EngineBackend
+from .backend_v2 import EngineBackendV2
+from .driver import AddressEngineDriver, DriverResult
+from .runtime import (RunReport, Runtime, engine_platform,
+                      software_platform)
+
+__all__ = [
+    "AddressEngineDriver",
+    "DriverResult",
+    "EngineBackend",
+    "EngineBackendV2",
+    "RunReport",
+    "Runtime",
+    "engine_platform",
+    "software_platform",
+]

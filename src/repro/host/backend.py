@@ -1,0 +1,141 @@
+"""The AddressLib backend that offloads calls to the AddressEngine.
+
+Swapping :class:`EngineBackend` for the default software backend is the
+paper's deployment model: the application's top level stays untouched on
+the host, and every AddressLib inter/intra call crosses the PCI bus to
+the board.  Segment and segment-indexed addressing are not offloaded (v1
+hardware limitation), so :class:`~repro.addresslib.library.AddressLib`
+routes those to its software fallback automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..addresslib.addressing import AddressingMode
+from ..addresslib.library import Backend, CallRecord
+from ..addresslib.ops import ChannelSet, InterOp, IntraOp
+from ..core.config import EngineConfig, inter_config, intra_config
+from ..image.frame import Frame
+from .driver import AddressEngineDriver
+
+
+class EngineBackend(Backend):
+    """Executes inter/intra AddressLib calls on the coprocessor model.
+
+    With ``chain_frames=True`` the backend exploits the on-board memory
+    between calls: an input that is still resident in its ZBT banks from
+    the previous call ships no PCI transfer, and the previous call's
+    *result* can be reused as an input for a cheap on-board copy instead
+    of a round trip through the host.  (The paper keeps the images on
+    the board per call only; chaining is the natural extension its
+    "replace the PCI with an on-chip bus" outlook gestures at.)
+    """
+
+    name = "address_engine"
+
+    def __init__(self, driver: Optional[AddressEngineDriver] = None,
+                 special_inter_ops: Tuple[str, ...] = (),
+                 chain_frames: bool = False) -> None:
+        self.driver = driver or AddressEngineDriver()
+        #: Names of inter ops that must wait for both frames on the board
+        #: (section 4.1's "special inter operations").
+        self.special_inter_ops = frozenset(special_inter_ops)
+        self.chain_frames = chain_frames
+        #: On-board state: layout kind, per-slot input ids, result id.
+        self._board_kind: Optional[int] = None
+        self._board_inputs: Tuple[int, ...] = ()
+        self._board_result: Optional[int] = None
+
+    def supports(self, mode: AddressingMode) -> bool:
+        return mode.engine_supported_v1
+
+    # -- residency tracking ---------------------------------------------------
+
+    def _residency(self, config, frames):
+        """Which inputs are already on the board, and the copy cost of
+        reusing the previous result as an input."""
+        if not self.chain_frames:
+            return [False] * len(frames), 0
+        flags = []
+        copy_cycles = 0
+        same_layout = self._board_kind == config.images_in
+        for slot, frame in enumerate(frames):
+            if (same_layout and slot < len(self._board_inputs)
+                    and self._board_inputs[slot] == id(frame)):
+                flags.append(True)          # still in its input banks
+            elif self._board_result == id(frame):
+                # Result banks -> input banks: the TxUs move one pixel
+                # per cycle in each direction, two in flight.
+                copy_cycles += -(-config.fmt.pixels // 2)
+                flags.append(True)
+            else:
+                flags.append(False)
+        return flags, copy_cycles
+
+    def _after_call(self, config, frames, result_frame) -> None:
+        if not self.chain_frames:
+            return
+        self._board_kind = config.images_in
+        self._board_inputs = tuple(id(frame) for frame in frames)
+        self._board_result = (id(result_frame)
+                              if result_frame is not None else None)
+
+    def _submit(self, config, frames):
+        resident, copy_cycles = self._residency(config, frames)
+        can_simulate_residency = copy_cycles == 0
+        if self.driver.simulate and not can_simulate_residency:
+            # The cycle model has no result-to-input mover; ship instead.
+            resident = [False] * len(frames)
+        result = self.driver.submit(config, *frames, resident=resident,
+                                    onboard_copy_cycles=copy_cycles)
+        self._after_call(config, frames, result.frame)
+        record = self._record(config, result)
+        record.extra["resident_inputs"] = float(sum(resident))
+        return result, record
+
+    # -- call execution ------------------------------------------------------------
+
+    def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        config = inter_config(
+            op, frame_a.format, channels,
+            requires_full_frames=op.name in self.special_inter_ops)
+        result, record = self._submit(config, [frame_a, frame_b])
+        assert result.frame is not None
+        return result.frame, record
+
+    def intra(self, op: IntraOp, frame: Frame,
+              channels: ChannelSet) -> Tuple[Frame, CallRecord]:
+        config = intra_config(op, frame.format, channels)
+        result, record = self._submit(config, [frame])
+        assert result.frame is not None
+        return result.frame, record
+
+    def inter_reduce(self, op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet) -> Tuple[int, CallRecord]:
+        config = inter_config(
+            op, frame_a.format, channels, reduce_to_scalar=True,
+            requires_full_frames=op.name in self.special_inter_ops)
+        result, record = self._submit(config, [frame_a, frame_b])
+        assert result.scalar is not None
+        return result.scalar, record
+
+    # -- accounting -------------------------------------------------------------------
+
+    @staticmethod
+    def _record(config: EngineConfig, result) -> CallRecord:
+        extra = {
+            "call_seconds": result.call_seconds,
+            "board_seconds": result.board_seconds,
+            "pci_words": float(result.pci_words),
+        }
+        if result.run is not None:
+            extra["cycles"] = float(result.run.cycles)
+            extra["zbt_pixel_ops"] = float(result.run.zbt_pixel_ops)
+        return CallRecord(
+            mode=config.mode,
+            op_name=config.op_name
+            + ("+reduce" if config.reduce_to_scalar else ""),
+            channels=config.channels, format_name=config.fmt.name,
+            pixels=config.fmt.pixels, profile=None, extra=extra)

@@ -1,0 +1,105 @@
+"""The host-side AddressEngine driver.
+
+Models the PC software that owns the board: it packages AddressLib calls
+into DMA programs, fields the completion interrupts, and hands results
+back to the application.  Two execution strategies:
+
+* **fast** (default): functional result via the vector executor plus the
+  validated closed-form timing of
+  :class:`~repro.perf.timing.EngineTimingModel` -- thousands of calls per
+  second, used by the Table 3 workloads;
+* **simulate**: the full cycle-level model of
+  :class:`~repro.core.engine.AddressEngine` -- used by tests and the
+  figure-level benches, where the microarchitectural behaviour matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import EngineConfig
+from ..core.engine import AddressEngine, EngineRunResult
+from ..image.frame import Frame
+from ..perf.timing import EngineTimingModel
+
+
+@dataclass
+class DriverResult:
+    """What one driver submission returns to the application."""
+
+    #: The result image, or ``None`` for scalar-reduce calls.
+    frame: Optional[Frame]
+    #: The scalar result, or ``None`` for image-producing calls.
+    scalar: Optional[int]
+    #: Host-visible call latency (board time + driver overhead).
+    call_seconds: float
+    #: Board-side time only.
+    board_seconds: float
+    #: PCI payload words moved.
+    pci_words: int
+    #: Present only when the call was cycle-simulated.
+    run: Optional[EngineRunResult] = None
+
+
+@dataclass
+class AddressEngineDriver:
+    """Submits statically-configured calls to the (modelled) board."""
+
+    timing: EngineTimingModel = field(default_factory=EngineTimingModel)
+    #: Run every call through the cycle-level model instead of the
+    #: closed-form timing (slow; for tests and microarchitecture benches).
+    simulate: bool = False
+    engine: AddressEngine = field(default_factory=AddressEngine)
+    interrupts_serviced: int = 0
+    calls_submitted: int = 0
+
+    def submit(self, config: EngineConfig, frame_a: Frame,
+               frame_b: Optional[Frame] = None,
+               resident=None, onboard_copy_cycles: int = 0
+               ) -> DriverResult:
+        """Execute one AddressEngine call and wait for its interrupt.
+
+        ``resident`` flags inputs already on the board (call chaining);
+        ``onboard_copy_cycles`` charges a result-bank-to-input-bank move
+        when the previous call's *result* is reused as an input.
+        """
+        self.calls_submitted += 1
+        resident = list(resident or [False] * config.images_in)
+        resident_count = sum(resident)
+        pci_words = (self.timing.input_words_raw(
+            config.fmt.pixels, config.images_in, resident_count)
+            + self.timing.readback_words(config))
+        host_overhead = self.timing.host_overhead_seconds_raw(
+            config.fmt.strips, config.images_in, resident_count)
+        if self.simulate:
+            run = self.engine.run_call(config, frame_a, frame_b,
+                                       resident=resident)
+            # Interrupts: one per DMA job plus the completion interrupt.
+            self.interrupts_serviced += len(run.pci.interrupts)
+            board = (run.seconds
+                     + onboard_copy_cycles / self.timing.clock_hz)
+            return DriverResult(
+                frame=run.frame, scalar=run.scalar,
+                call_seconds=board + host_overhead,
+                board_seconds=board,
+                pci_words=pci_words, run=run)
+        result = AddressEngine.run_functional(config, frame_a, frame_b)
+        self.interrupts_serviced += self.timing.dma_jobs_raw(
+            config.fmt.strips, config.images_in, resident_count) + 1
+        frame: Optional[Frame]
+        scalar: Optional[int]
+        if isinstance(result, Frame):
+            frame, scalar = result, None
+        else:
+            frame, scalar = None, int(result)
+        board_cycles = (self.timing.call_cycles_raw(
+            config.fmt.pixels, config.fmt.strips, config.images_in,
+            config.produces_image, config.requires_full_frames,
+            resident_count) + onboard_copy_cycles)
+        board = board_cycles / self.timing.clock_hz
+        return DriverResult(
+            frame=frame, scalar=scalar,
+            call_seconds=board + host_overhead,
+            board_seconds=board,
+            pci_words=pci_words)

@@ -1,0 +1,110 @@
+"""The evaluation runtime: run one workload on one platform, keep books.
+
+Table 3's experiment shape: the *same* application (MPEG-7 GME) runs
+twice -- once all-software on the Pentium M, once with AddressLib calls
+offloaded to the board on a Pentium 4 host -- and the wall clocks are
+compared.  :class:`Runtime` reproduces that: it owns an
+:class:`~repro.addresslib.library.AddressLib` over the platform's
+backend, charges each call with the platform's cost rule, and lets the
+workload charge its high-level (host-resident) work separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..addresslib.library import AddressLib, Backend, SoftwareBackend
+from ..addresslib.profiling import OpProfile
+from ..perf.cpu_model import CpuModel, PENTIUM_4_3000, PENTIUM_M_1600
+from .backend import EngineBackend
+
+
+@dataclass
+class RunReport:
+    """The books of one workload execution on one platform."""
+
+    platform: str
+    intra_calls: int
+    inter_calls: int
+    segment_calls: int
+    call_seconds: float
+    high_level_seconds: float
+
+    @property
+    def total_calls(self) -> int:
+        return self.intra_calls + self.inter_calls + self.segment_calls
+
+    @property
+    def total_seconds(self) -> float:
+        return self.call_seconds + self.high_level_seconds
+
+
+class Runtime:
+    """One platform: a backend, a host CPU, and the accounting rules."""
+
+    def __init__(self, backend: Backend, host_cpu: CpuModel,
+                 platform_name: Optional[str] = None) -> None:
+        self.backend = backend
+        self.host_cpu = host_cpu
+        self.platform_name = platform_name or (
+            f"{backend.name} on {host_cpu.name}")
+        self.lib = AddressLib(backend)
+        self._high_level_seconds = 0.0
+
+    # -- high-level (host-resident) work ---------------------------------------
+
+    def charge_high_level(self, instructions: float,
+                          mean_cpi: float = 1.5) -> None:
+        """Charge host-side control work (decode, model fitting, I/O)."""
+        self._high_level_seconds += self.host_cpu.seconds_for_instructions(
+            instructions, mean_cpi)
+
+    def charge_high_level_profile(self, profile: OpProfile) -> None:
+        """Charge host-side work described by an instruction profile."""
+        self._high_level_seconds += self.host_cpu.seconds(profile)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def _call_seconds(self) -> float:
+        total = 0.0
+        for record in self.lib.log.records:
+            if "call_seconds" in record.extra:
+                # Engine-backed call: the driver measured it.
+                total += record.extra["call_seconds"]
+            elif record.profile is not None:
+                # Software call: time its instruction profile on this host.
+                total += self.host_cpu.seconds(record.profile)
+        return total
+
+    def report(self) -> RunReport:
+        """The books so far."""
+        from ..addresslib.addressing import AddressingMode
+        log = self.lib.log
+        segment_calls = (log.count(AddressingMode.SEGMENT)
+                         + log.count(AddressingMode.SEGMENT_INDEXED))
+        return RunReport(
+            platform=self.platform_name,
+            intra_calls=log.intra_calls,
+            inter_calls=log.inter_calls,
+            segment_calls=segment_calls,
+            call_seconds=self._call_seconds(),
+            high_level_seconds=self._high_level_seconds)
+
+    def reset(self) -> None:
+        self.lib.log.clear()
+        self._high_level_seconds = 0.0
+
+
+def software_platform(cpu: CpuModel = PENTIUM_M_1600,
+                      backend: Optional[SoftwareBackend] = None) -> Runtime:
+    """The Table 3 software baseline: everything on the Pentium M."""
+    return Runtime(backend or SoftwareBackend(), cpu,
+                   platform_name=f"software ({cpu.name})")
+
+
+def engine_platform(cpu: CpuModel = PENTIUM_4_3000,
+                    backend: Optional[EngineBackend] = None) -> Runtime:
+    """The Table 3 coprocessor platform: AddressEngine behind a P4 host."""
+    return Runtime(backend or EngineBackend(), cpu,
+                   platform_name=f"AddressEngine ({cpu.name} host)")

@@ -1,0 +1,60 @@
+"""Image substrate: the AddressEngine pixel/frame data model.
+
+Provides the packed 64-bit pixel (:class:`~repro.image.pixel.Pixel`), the
+engine-side full-resolution frame (:class:`~repro.image.frame.Frame`), the
+software baseline's planar 4:2:0 store with access counting
+(:class:`~repro.image.planar.PlanarFrame420`), the two supported formats
+(:data:`~repro.image.formats.QCIF`, :data:`~repro.image.formats.CIF`) and
+seeded synthetic content generators (:mod:`repro.image.synth`).
+"""
+
+from .color import (frame_from_rgb, frame_to_rgb, rgb_to_yuv,
+                    yuv_to_rgb)
+from .formats import (CIF, PIXEL_BITS, PIXEL_BYTES, QCIF, STRIP_LINES,
+                      SUPPORTED_FORMATS, ImageFormat, format_by_name)
+from .frame import Frame
+from .io import (AE64_MAGIC, read_ae64, read_pgm, read_yuv420, write_ae64,
+                 write_pgm, write_yuv420, yuv420_frame_bytes)
+from .pixel import (ALL_CHANNELS, COLOR_CHANNELS, META_CHANNELS, Channel,
+                    Pixel)
+from .planar import AccessCounter, PlanarFrame420, SUBSAMPLED_CHANNELS
+from .synth import (blob_frame, checkerboard_frame, frame_from_luma,
+                    gradient_frame, noise_frame, textured_panorama)
+
+__all__ = [
+    "ALL_CHANNELS",
+    "AccessCounter",
+    "CIF",
+    "COLOR_CHANNELS",
+    "Channel",
+    "Frame",
+    "ImageFormat",
+    "META_CHANNELS",
+    "PIXEL_BITS",
+    "PIXEL_BYTES",
+    "Pixel",
+    "PlanarFrame420",
+    "QCIF",
+    "STRIP_LINES",
+    "SUBSAMPLED_CHANNELS",
+    "SUPPORTED_FORMATS",
+    "AE64_MAGIC",
+    "blob_frame",
+    "checkerboard_frame",
+    "format_by_name",
+    "frame_from_rgb",
+    "frame_to_rgb",
+    "frame_from_luma",
+    "gradient_frame",
+    "noise_frame",
+    "read_ae64",
+    "read_pgm",
+    "read_yuv420",
+    "rgb_to_yuv",
+    "textured_panorama",
+    "write_ae64",
+    "write_pgm",
+    "write_yuv420",
+    "yuv420_frame_bytes",
+    "yuv_to_rgb",
+]

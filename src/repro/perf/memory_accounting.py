@@ -1,0 +1,120 @@
+"""Memory-access accounting: the model behind Table 2.
+
+Table 2 compares, for one CIF call, the memory access operations of the
+software AddressLib against the coprocessor:
+
+========================  ========  ===========  ========  ======
+Addressing                Channels  Software     Hardware  Saving
+========================  ========  ===========  ========  ======
+Inter                     Y -> Y       304 128    202 752    33 %
+Intra CON_0               Y -> Y       202 752    202 752     0 %
+Intra CON_8               Y -> Y       405 504    202 752    50 %
+Intra CON_8               Y,U,V        608 256    202 752   200 %
+========================  ========  ===========  ========  ======
+
+*Software* counts element accesses of the planar 4:2:0 frame store: the
+steady-state sliding window reloads only the leading window edge (three
+fresh reads per step for CON_8) and chroma planes add a quarter of the
+luma traffic each.  *Hardware* counts pixel-granular ZBT access
+operations: every pixel position is fetched once (all channels, and in
+inter mode both images, in parallel across banks) and stored once --
+``2 x pixels`` regardless of operation, neighbourhood or channel count.
+
+The paper's "Saving" column mixes two conventions: rows 1-3 report
+``(SW - HW) / SW`` while row 4 reports ``(SW - HW) / HW``.  Both are
+computed here; :attr:`MemoryAccessRow.paper_saving_percent` picks the one
+the paper printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..addresslib.executor import SoftwareCostModel
+from ..addresslib.ops import ChannelSet, IntraOp
+from ..image.formats import CIF, ImageFormat
+
+
+@dataclass(frozen=True)
+class MemoryAccessRow:
+    """One row of the Table 2 comparison."""
+
+    label: str
+    channels_in: str
+    channels_out: str
+    sw_accesses: int
+    hw_accesses: int
+    #: Which convention the paper used for this row's saving.
+    paper_uses_hw_basis: bool = False
+
+    @property
+    def saving_vs_software(self) -> float:
+        """(SW - HW) / SW, as a fraction."""
+        if self.sw_accesses == 0:
+            return 0.0
+        return (self.sw_accesses - self.hw_accesses) / self.sw_accesses
+
+    @property
+    def saving_vs_hardware(self) -> float:
+        """(SW - HW) / HW, as a fraction."""
+        if self.hw_accesses == 0:
+            return 0.0
+        return (self.sw_accesses - self.hw_accesses) / self.hw_accesses
+
+    @property
+    def paper_saving_percent(self) -> float:
+        """The saving in the convention the paper printed for this row."""
+        fraction = (self.saving_vs_hardware if self.paper_uses_hw_basis
+                    else self.saving_vs_software)
+        return 100.0 * fraction
+
+
+def hardware_accesses(fmt: ImageFormat, produces_image: bool = True) -> int:
+    """Pixel-granular ZBT access operations of one engine call.
+
+    Each pixel position costs one parallel fetch (all needed channels,
+    and both images for inter calls, arrive in the same memory cycle via
+    the split bank pairs) and one store of the result pixel.
+    """
+    per_pixel = 1 + (1 if produces_image else 0)
+    return per_pixel * fmt.pixels
+
+
+def table2_rows(fmt: ImageFormat = CIF,
+                cost_model: Optional[SoftwareCostModel] = None
+                ) -> List[MemoryAccessRow]:
+    """The four Table 2 configurations, computed from the models."""
+    from ..addresslib.ops import INTRA_COPY, INTRA_HOMOGENEITY
+
+    model = cost_model or SoftwareCostModel()
+    hw = hardware_accesses(fmt)
+    con8_op: IntraOp = INTRA_HOMOGENEITY  # any CON_8 op; accesses match
+    return [
+        MemoryAccessRow(
+            label="Inter", channels_in="Y", channels_out="Y",
+            sw_accesses=model.inter_accesses(fmt, ChannelSet.Y),
+            hw_accesses=hw),
+        MemoryAccessRow(
+            label="Intra CON_0", channels_in="Y", channels_out="Y",
+            sw_accesses=model.intra_accesses(INTRA_COPY, fmt, ChannelSet.Y),
+            hw_accesses=hw),
+        MemoryAccessRow(
+            label="Intra CON_8", channels_in="Y", channels_out="Y",
+            sw_accesses=model.intra_accesses(con8_op, fmt, ChannelSet.Y),
+            hw_accesses=hw),
+        MemoryAccessRow(
+            label="Intra CON_8", channels_in="Y,U,V", channels_out="Y,U,V",
+            sw_accesses=model.intra_accesses(con8_op, fmt, ChannelSet.YUV),
+            hw_accesses=hw,
+            paper_uses_hw_basis=True),
+    ]
+
+
+#: The numbers Table 2 prints, for assertion in tests and benches.
+PAPER_TABLE2 = (
+    ("Inter", "Y", "Y", 304_128, 202_752, 33),
+    ("Intra CON_0", "Y", "Y", 202_752, 202_752, 0),
+    ("Intra CON_8", "Y", "Y", 405_504, 202_752, 50),
+    ("Intra CON_8", "Y,U,V", "Y,U,V", 608_256, 202_752, 200),
+)

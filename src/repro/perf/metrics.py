@@ -1,0 +1,80 @@
+"""Quality metrics for images, mosaics and segmentations.
+
+Small, dependency-free measures used by tests, examples and the
+evaluation workloads: PSNR/MAE for reconstruction quality, IoU and Dice
+for masks and segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def mae(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean absolute error between two planes."""
+    _check_shapes(reference, candidate)
+    return float(np.abs(reference.astype(np.float64)
+                        - candidate.astype(np.float64)).mean())
+
+
+def mse(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean squared error between two planes."""
+    _check_shapes(reference, candidate)
+    diff = reference.astype(np.float64) - candidate.astype(np.float64)
+    return float((diff * diff).mean())
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray,
+         peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical planes)."""
+    error = mse(reference, candidate)
+    if error == 0.0:
+        return float("inf")
+    return 10.0 * math.log10(peak * peak / error)
+
+
+def iou(mask_a: np.ndarray, mask_b: np.ndarray) -> float:
+    """Intersection over union of two boolean masks (1.0 when both are
+    empty -- vacuous agreement)."""
+    _check_shapes(mask_a, mask_b)
+    a = mask_a.astype(bool)
+    b = mask_b.astype(bool)
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(a, b).sum() / union)
+
+
+def dice(mask_a: np.ndarray, mask_b: np.ndarray) -> float:
+    """Dice coefficient of two boolean masks."""
+    _check_shapes(mask_a, mask_b)
+    a = mask_a.astype(bool)
+    b = mask_b.astype(bool)
+    total = a.sum() + b.sum()
+    if total == 0:
+        return 1.0
+    return float(2.0 * np.logical_and(a, b).sum() / total)
+
+
+def segment_iou(labels_a: np.ndarray, labels_b: np.ndarray,
+                segment_a: int, segment_b: int) -> float:
+    """IoU of one segment from each of two label maps."""
+    return iou(labels_a == segment_a, labels_b == segment_b)
+
+
+def best_segment_match(labels: np.ndarray, mask: np.ndarray) -> tuple:
+    """The segment that best covers a reference mask: ``(id, iou)``."""
+    _check_shapes(labels, mask)
+    best_id, best_iou = -1, 0.0
+    for segment_id in np.unique(labels[labels >= 0]):
+        score = iou(labels == segment_id, mask)
+        if score > best_iou:
+            best_id, best_iou = int(segment_id), score
+    return best_id, best_iou
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")

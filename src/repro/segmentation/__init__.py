@@ -1,0 +1,31 @@
+"""Video object segmentation (the reference-[2] substrate).
+
+Seeded region growing over segment addressing plus hierarchical region
+merging -- the algorithm whose instruction profile motivates the
+AddressEngine (factor-30 estimate, claim C1 in DESIGN.md).
+"""
+
+from .hierarchy import Hierarchy, HierarchyBuilder, MergeEvent
+from .labels import (adjacency, boundary_mask, coverage, merge_labels,
+                     relabel_compact, segment_means, segment_sizes)
+from .region_grow import (RegionGrowSegmenter, RegionGrowSettings,
+                          SegmentationOutput)
+from .workload import WorkloadProfile, profile_segmentation_workload
+
+__all__ = [
+    "Hierarchy",
+    "HierarchyBuilder",
+    "MergeEvent",
+    "RegionGrowSegmenter",
+    "RegionGrowSettings",
+    "SegmentationOutput",
+    "WorkloadProfile",
+    "adjacency",
+    "boundary_mask",
+    "coverage",
+    "merge_labels",
+    "profile_segmentation_workload",
+    "relabel_compact",
+    "segment_means",
+    "segment_sizes",
+]

@@ -1,0 +1,88 @@
+"""Label-map utilities for segmentation results.
+
+A label map is an ``int32`` array with one segment id per pixel (>= 0)
+and ``-1`` for unassigned pixels.  These helpers are shared by the
+region-growing front end and the hierarchical merger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+
+def relabel_compact(labels: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Renumber segment ids to ``0..n-1`` (order of first appearance).
+
+    Unassigned pixels (``-1``) stay unassigned.  Returns the new map and
+    the segment count.
+    """
+    out = np.full_like(labels, -1)
+    mapping: Dict[int, int] = {}
+    flat = labels.reshape(-1)
+    out_flat = out.reshape(-1)
+    for index, value in enumerate(flat):
+        if value < 0:
+            continue
+        value = int(value)
+        if value not in mapping:
+            mapping[value] = len(mapping)
+        out_flat[index] = mapping[value]
+    return out, len(mapping)
+
+
+def segment_sizes(labels: np.ndarray) -> Dict[int, int]:
+    """Pixel count per segment id (unassigned excluded)."""
+    ids, counts = np.unique(labels[labels >= 0], return_counts=True)
+    return {int(i): int(c) for i, c in zip(ids, counts)}
+
+
+def segment_means(labels: np.ndarray, values: np.ndarray) -> Dict[int, float]:
+    """Mean of ``values`` per segment."""
+    means: Dict[int, float] = {}
+    for segment_id in np.unique(labels[labels >= 0]):
+        mask = labels == segment_id
+        means[int(segment_id)] = float(values[mask].mean())
+    return means
+
+
+def adjacency(labels: np.ndarray) -> Dict[int, Set[int]]:
+    """The region adjacency graph (4-connected) of a complete label map."""
+    graph: Dict[int, Set[int]] = {int(i): set()
+                                  for i in np.unique(labels[labels >= 0])}
+
+    def link(a: np.ndarray, b: np.ndarray) -> None:
+        different = (a != b) & (a >= 0) & (b >= 0)
+        for left, right in zip(a[different].tolist(),
+                               b[different].tolist()):
+            graph[int(left)].add(int(right))
+            graph[int(right)].add(int(left))
+
+    link(labels[:, :-1], labels[:, 1:])
+    link(labels[:-1, :], labels[1:, :])
+    return graph
+
+
+def boundary_mask(labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of pixels that touch a different segment (4-conn)."""
+    mask = np.zeros(labels.shape, dtype=bool)
+    mask[:, :-1] |= labels[:, :-1] != labels[:, 1:]
+    mask[:, 1:] |= labels[:, :-1] != labels[:, 1:]
+    mask[:-1, :] |= labels[:-1, :] != labels[1:, :]
+    mask[1:, :] |= labels[:-1, :] != labels[1:, :]
+    return mask
+
+
+def coverage(labels: np.ndarray) -> float:
+    """Fraction of pixels assigned to some segment."""
+    return float((labels >= 0).mean())
+
+
+def merge_labels(labels: np.ndarray,
+                 merges: List[Tuple[int, int]]) -> np.ndarray:
+    """Apply ``(survivor, absorbed)`` merges to a label map."""
+    out = labels.copy()
+    for survivor, absorbed in merges:
+        out[out == absorbed] = survivor
+    return out

@@ -1,0 +1,115 @@
+"""One-shot reproduction summary: ``python -m repro.summary``.
+
+Regenerates the headline numbers of every experiment (Tables 1-3, the
+factor-30 profile, the section 4.1 claims) against the paper's values,
+without going through pytest.  Table 3 runs the sequences at a small
+scale by default; pass ``--table3-scale 1.0`` for full length.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from .core import v1_utilization_report
+from .gme import PAPER_TABLE3, TABLE3_SEQUENCES, evaluate_sequence_dual
+from .image import CIF, QCIF, blob_frame
+from .perf import (EngineTimingModel, PAPER_TABLE2, format_seconds,
+                   format_table, table2_rows)
+from .segmentation import profile_segmentation_workload
+
+
+def table1_section() -> str:
+    report = v1_utilization_report()
+    return (format_table(
+        ["resource", "used", "available", "util"],
+        [(name, used, avail, f"{int(pct)}%")
+         for name, used, avail, pct in report.rows()],
+        title="Table 1 -- device utilisation (matches the paper exactly)")
+        + f"\nminimum period {report.timing.min_period_ns:.3f} ns "
+          f"({report.timing.max_frequency_mhz:.3f} MHz)")
+
+
+def table2_section() -> str:
+    rows = []
+    for row, paper in zip(table2_rows(CIF), PAPER_TABLE2):
+        rows.append((row.label, row.channels_in, row.sw_accesses,
+                     row.hw_accesses, f"{row.paper_saving_percent:.0f}%",
+                     "exact" if (row.sw_accesses, row.hw_accesses)
+                     == (paper[3], paper[4]) else "DIFFERS"))
+    return format_table(
+        ["addressing", "channels", "software", "hardware", "saving",
+         "vs paper"],
+        rows, title="Table 2 -- memory accesses per CIF call")
+
+
+def table3_section(scale: float) -> str:
+    lines: List[tuple] = []
+    speedups = []
+    for spec, paper in zip(TABLE3_SEQUENCES, PAPER_TABLE3):
+        row = evaluate_sequence_dual(spec, scale=scale).extrapolated()
+        speedups.append(row.speedup)
+        lines.append((row.name,
+                      format_seconds(row.pm_seconds),
+                      format_seconds(paper[1]),
+                      format_seconds(row.fpga_seconds),
+                      format_seconds(paper[2]),
+                      f"{row.intra_calls}/{paper[3]}",
+                      f"{row.inter_calls}/{paper[4]}",
+                      f"{row.speedup:.2f}"))
+    mean = sum(speedups) / len(speedups)
+    return (format_table(
+        ["video", "PM", "paper", "FPGA", "paper", "intra m/p",
+         "inter m/p", "speedup"],
+        lines, title=f"Table 3 -- GME wall times (scale {scale}, "
+                     f"extrapolated)")
+        + f"\naverage speedup {mean:.2f} "
+          f"(paper: 'an average factor of 5')")
+
+
+def claims_section() -> str:
+    frame = blob_frame(QCIF, [(40, 40), (120, 70), (60, 110)], radius=20)
+    workload = profile_segmentation_workload(frame)
+    timing = EngineTimingModel()
+    from .addresslib import INTER_ABSDIFF
+    from .core import inter_config
+    special = inter_config(INTER_ABSDIFF, CIF, reduce_to_scalar=True,
+                           requires_full_frames=True)
+    return format_table(
+        ["claim", "paper", "measured"],
+        [("max acceleration (profiling)", "~30",
+          f"{workload.amdahl_bound:.1f}"),
+         ("offloadable fraction", "~0.967",
+          f"{workload.offloadable_fraction:.4f}"),
+         ("per-bank ZBT rate", "264 MB/s",
+          f"{timing.zbt_bank_bytes_per_second() / 1e6:.0f} MB/s"),
+         ("special-inter non-PCI share", "12.5%",
+          f"{100 * timing.non_pci_fraction(special):.2f}%")],
+        title="Section 1 / 4.1 claims")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation numbers.")
+    parser.add_argument("--table3-scale", type=float, default=0.04,
+                        help="fraction of each Table 3 sequence to run "
+                             "(default 0.04; 1.0 = full length)")
+    parser.add_argument("--skip-table3", action="store_true",
+                        help="skip the (slower) GME evaluation")
+    args = parser.parse_args(argv)
+
+    print("Reproduction summary -- Stechele et al., DATE 2005")
+    print("=" * 60)
+    print()
+    print(table1_section())
+    print()
+    print(table2_section())
+    print()
+    if not args.skip_table3:
+        print(table3_section(args.table3_scale))
+        print()
+    print(claims_section())
+
+
+if __name__ == "__main__":
+    main()

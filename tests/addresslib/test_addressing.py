@@ -1,0 +1,132 @@
+"""Addressing vocabulary: modes, neighbourhoods, scan orders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addresslib import (COLUMN_9, CON_0, CON_4, CON_8, CON_24,
+                              MAX_NEIGHBOURHOOD_LINES, AddressingMode,
+                              Neighbourhood, ScanOrder,
+                              neighbour_positions, neighbourhood_by_name,
+                              scan_positions)
+from repro.image import ImageFormat
+
+FMT = ImageFormat("T6x4", 6, 4)
+
+
+class TestAddressingMode:
+    def test_v1_engine_supports_inter_and_intra_only(self):
+        """Section 3: the first version implements a subset -- the intra-
+        and inter addressing modes."""
+        assert AddressingMode.INTER.engine_supported_v1
+        assert AddressingMode.INTRA.engine_supported_v1
+        assert not AddressingMode.SEGMENT.engine_supported_v1
+        assert not AddressingMode.SEGMENT_INDEXED.engine_supported_v1
+
+
+class TestNeighbourhoodShapes:
+    def test_con0_is_centre_only(self):
+        assert CON_0.size == 1
+        assert CON_0.offsets == ((0, 0),)
+
+    def test_con8_is_3x3(self):
+        assert CON_8.size == 9
+        assert CON_8.line_span == 3
+        assert CON_8.column_span == 3
+
+    def test_con4_is_cross(self):
+        assert CON_4.size == 5
+        assert (1, 1) not in CON_4.offsets
+
+    def test_con24_is_5x5(self):
+        assert CON_24.size == 25
+
+    def test_column9_is_figure4_worst_case(self):
+        """Figure 4: maximum extent perpendicular to the scan."""
+        assert COLUMN_9.line_span == MAX_NEIGHBOURHOOD_LINES
+        assert COLUMN_9.column_span == 1
+        assert COLUMN_9.span_perpendicular_to(ScanOrder.HORIZONTAL) == 9
+        assert COLUMN_9.span_perpendicular_to(ScanOrder.VERTICAL) == 1
+
+    def test_nine_line_limit_enforced(self):
+        """'The maximum range of input data required to process one pixel
+        is nine lines' -- larger shapes are rejected."""
+        offsets = tuple((0, dy) for dy in range(-5, 5))  # 10 lines
+        with pytest.raises(ValueError):
+            Neighbourhood("TOO_TALL", offsets)
+
+    def test_centre_required(self):
+        with pytest.raises(ValueError):
+            Neighbourhood("NO_CENTRE", ((1, 0),))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Neighbourhood("DUP", ((0, 0), (0, 0)))
+
+    def test_lookup_by_name(self):
+        assert neighbourhood_by_name("con_8") is CON_8
+        with pytest.raises(KeyError):
+            neighbourhood_by_name("CON_5")
+
+
+class TestFreshOffsets:
+    def test_con8_horizontal_leading_column(self):
+        """Table 2's software model: 3 fresh reads per step for CON_8."""
+        fresh = CON_8.fresh_offsets(ScanOrder.HORIZONTAL)
+        assert set(fresh) == {(1, -1), (1, 0), (1, 1)}
+
+    def test_con8_vertical_leading_row(self):
+        fresh = CON_8.fresh_offsets(ScanOrder.VERTICAL)
+        assert set(fresh) == {(-1, 1), (0, 1), (1, 1)}
+
+    def test_con0_always_fresh(self):
+        assert CON_0.fresh_offsets(ScanOrder.HORIZONTAL) == ((0, 0),)
+
+    def test_column9_horizontal_fully_fresh(self):
+        """Perpendicular worst case: nothing is reusable."""
+        assert len(COLUMN_9.fresh_offsets(ScanOrder.HORIZONTAL)) == 9
+
+    def test_column9_vertical_single_fresh(self):
+        """Scanning along the column reuses eight of nine pixels."""
+        assert len(COLUMN_9.fresh_offsets(ScanOrder.VERTICAL)) == 1
+
+
+class TestScanPositions:
+    def test_horizontal_order(self):
+        positions = list(scan_positions(FMT, ScanOrder.HORIZONTAL))
+        assert positions[0] == (0, 0)
+        assert positions[1] == (1, 0)
+        assert positions[FMT.width] == (0, 1)
+        assert len(positions) == FMT.pixels
+
+    def test_vertical_order(self):
+        positions = list(scan_positions(FMT, ScanOrder.VERTICAL))
+        assert positions[1] == (0, 1)
+        assert positions[FMT.height] == (1, 0)
+
+    def test_each_pixel_exactly_once(self):
+        for order in ScanOrder:
+            positions = list(scan_positions(FMT, order))
+            assert len(set(positions)) == FMT.pixels
+
+
+class TestNeighbourPositions:
+    def test_interior_full_neighbourhood(self):
+        positions = neighbour_positions(2, 2, CON_8, FMT)
+        assert len(positions) == 9
+        assert (1, 1) in positions and (3, 3) in positions
+
+    def test_clamped_border(self):
+        positions = neighbour_positions(0, 0, CON_8, FMT, clamp=True)
+        assert len(positions) == 9
+        assert all(x >= 0 and y >= 0 for x, y in positions)
+        assert positions.count((0, 0)) == 4  # corner replicates
+
+    def test_unclamped_border_drops_outside(self):
+        positions = neighbour_positions(0, 0, CON_8, FMT, clamp=False)
+        assert len(positions) == 4
+
+    @given(x=st.integers(0, 5), y=st.integers(0, 3))
+    def test_clamped_positions_always_in_frame(self, x, y):
+        for px, py in neighbour_positions(x, y, CON_24, FMT, clamp=True):
+            assert FMT.contains(px, py)

@@ -1,0 +1,138 @@
+"""Multi-call compositions of AddressLib sub-functions."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import AddressLib
+from repro.addresslib.compositions import (MotionMaskSettings, call_count_of,
+                                           closing, motion_mask, opening,
+                                           temporal_smooth, top_hat,
+                                           unsharp_mask)
+from repro.host import EngineBackend
+from repro.image import ImageFormat, Frame, blob_frame, noise_frame
+
+FMT = ImageFormat("COMP", 32, 32)
+
+
+def speckled_frame():
+    """A big blob plus isolated single-pixel speckles."""
+    frame = blob_frame(FMT, [(16, 16)], radius=8, inside=200, outside=20)
+    for x, y in ((2, 2), (29, 5), (5, 28)):
+        frame.y[y, x] = 200
+    return frame
+
+
+class TestMorphology:
+    def test_opening_removes_speckles_keeps_blob(self):
+        lib = AddressLib()
+        frame = speckled_frame()
+        opened = opening(lib, frame)
+        assert opened.y[2, 2] == 20          # speckle gone
+        assert opened.y[16, 16] == 200       # blob survives
+        assert lib.log.intra_calls == 2
+
+    def test_closing_fills_small_holes(self):
+        lib = AddressLib()
+        frame = blob_frame(FMT, [(16, 16)], radius=8)
+        frame.y[16, 16] = 30                 # a one-pixel hole
+        closed = closing(lib, frame)
+        assert closed.y[16, 16] == 200
+
+    def test_opening_is_anti_extensive(self):
+        """opening(f) <= f pointwise -- the defining inequality."""
+        lib = AddressLib()
+        frame = noise_frame(FMT, seed=4)
+        opened = opening(lib, frame)
+        assert (opened.y.astype(int) <= frame.y.astype(int)).all()
+
+    def test_closing_is_extensive(self):
+        lib = AddressLib()
+        frame = noise_frame(FMT, seed=5)
+        closed = closing(lib, frame)
+        assert (closed.y.astype(int) >= frame.y.astype(int)).all()
+
+    def test_opening_idempotent(self):
+        lib = AddressLib()
+        frame = noise_frame(FMT, seed=6)
+        once = opening(lib, frame)
+        twice = opening(lib, once)
+        assert np.array_equal(once.y, twice.y)
+
+    def test_top_hat_isolates_speckles(self):
+        lib = AddressLib()
+        frame = speckled_frame()
+        hat = top_hat(lib, frame)
+        assert hat.y[2, 2] == 180            # speckle contrast
+        assert hat.y[16, 16] == 0            # blob interior removed
+        assert lib.log.total_calls == call_count_of("top_hat")
+
+
+class TestUnsharpAndTemporal:
+    def test_unsharp_boosts_edges(self):
+        lib = AddressLib()
+        frame = Frame(FMT)
+        frame.y[:, :16] = 60
+        frame.y[:, 16:] = 160
+        sharpened = unsharp_mask(lib, frame)
+        # Bright side of the edge overshoots, flat areas are unchanged.
+        assert sharpened.y[5, 16] > 160
+        assert sharpened.y[5, 2] == 60
+
+    def test_temporal_smooth_converges_to_static_scene(self):
+        lib = AddressLib()
+        static = noise_frame(FMT, seed=7)
+        frames = [static.copy() for _ in range(5)]
+        smoothed = temporal_smooth(lib, frames)
+        assert np.array_equal(smoothed.y, static.y)
+        assert lib.log.inter_calls == 4
+
+    def test_temporal_smooth_empty_sequence(self):
+        assert temporal_smooth(AddressLib(), []) is None
+
+    def test_temporal_smooth_damps_transients(self):
+        lib = AddressLib()
+        background = Frame(FMT)
+        background.y[:] = 100
+        flash = Frame(FMT)
+        flash.y[:] = 220
+        result = temporal_smooth(
+            lib, [background, background, flash, background])
+        assert 100 <= result.y[0, 0] < 140   # flash damped
+
+
+class TestMotionMask:
+    def test_detects_moving_object(self):
+        lib = AddressLib()
+        background = Frame(FMT)
+        background.y[:] = 50
+        frame = blob_frame(FMT, [(20, 20)], radius=6, inside=220,
+                           outside=50)
+        mask = motion_mask(lib, frame, background)
+        assert mask.y[20, 20] == 255
+        assert mask.y[2, 2] == 0
+        assert lib.log.total_calls == call_count_of("motion_mask")
+
+    def test_despeckling_optional(self):
+        lib = AddressLib()
+        background = Frame(FMT)
+        frame = Frame(FMT)
+        motion_mask(lib, frame, background,
+                    MotionMaskSettings(despeckle=None))
+        assert lib.log.total_calls == 3
+
+    def test_runs_identically_on_engine_backend(self):
+        background = Frame(FMT)
+        background.y[:] = 50
+        frame = blob_frame(FMT, [(20, 20)], radius=6, inside=220,
+                           outside=50)
+        sw = motion_mask(AddressLib(), frame, background)
+        hw = motion_mask(AddressLib(EngineBackend()), frame, background)
+        assert sw.equals(hw)
+
+
+class TestPlanning:
+    def test_call_counts(self):
+        assert call_count_of("opening") == 2
+        assert call_count_of("motion_mask") == 5
+        with pytest.raises(KeyError):
+            call_count_of("nonsense")

@@ -1,0 +1,87 @@
+"""Segment-indexed addressing: the counted side table."""
+
+import pytest
+
+from repro.addresslib import IndexedTable, OpProfile, SegmentStatistics
+
+
+class TestIndexedTable:
+    def test_read_write(self):
+        table = IndexedTable(["a", "b"], size=4)
+        table.write(2, "a", 7)
+        assert table.read(2, "a") == 7
+        assert table.read(2, "b") == 0
+
+    def test_every_access_counted(self):
+        table = IndexedTable(["a"], size=2)
+        table.write(0, "a", 1)
+        table.read(0, "a")
+        table.increment(0, "a")
+        assert table.reads == 2
+        assert table.writes == 2
+        assert table.accesses == 4
+
+    def test_increment_returns_new_value(self):
+        table = IndexedTable(["n"], size=1)
+        assert table.increment(0, "n") == 1
+        assert table.increment(0, "n", 5) == 6
+
+    def test_bounds_and_fields_checked(self):
+        table = IndexedTable(["a"], size=2)
+        with pytest.raises(IndexError):
+            table.read(2, "a")
+        with pytest.raises(KeyError):
+            table.read(0, "zzz")
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            IndexedTable([], size=4)
+        with pytest.raises(ValueError):
+            IndexedTable(["a"], size=0)
+        with pytest.raises(ValueError):
+            IndexedTable(["a", "a"], size=4)
+
+    def test_profile_charged_per_access(self):
+        profile = OpProfile()
+        table = IndexedTable(["a"], size=2, profile=profile)
+        table.write(0, "a", 3)
+        table.read(0, "a")
+        assert profile.counts["store"] == 1
+        assert profile.counts["load"] == 1
+        assert profile.counts["addr"] == 4  # 2 per access
+
+    def test_row_snapshot_uncounted(self):
+        table = IndexedTable(["a"], size=2)
+        table.write(1, "a", 9)
+        accesses = table.accesses
+        assert table.row(1) == {"a": 9}
+        assert table.accesses == accesses
+
+
+class TestSegmentStatistics:
+    def test_observe_accumulates(self):
+        stats = SegmentStatistics(max_segments=4)
+        stats.observe(1, x=3, y=4, luma=100)
+        stats.observe(1, x=5, y=2, luma=200)
+        assert stats.area(1) == 2
+        assert stats.mean_luma(1) == pytest.approx(150.0)
+
+    def test_bounding_box_grows(self):
+        stats = SegmentStatistics(max_segments=2)
+        stats.observe(0, 5, 5, 10)
+        stats.observe(0, 2, 8, 10)
+        stats.observe(0, 9, 1, 10)
+        assert stats.bounding_box(0) == (2, 1, 9, 8)
+
+    def test_empty_segment(self):
+        stats = SegmentStatistics(max_segments=2)
+        assert stats.bounding_box(1) is None
+        assert stats.mean_luma(1) == 0.0
+
+    def test_all_updates_go_through_counted_table(self):
+        stats = SegmentStatistics(max_segments=2)
+        stats.observe(0, 1, 1, 50)
+        first = stats.table.accesses
+        assert first > 0
+        stats.observe(0, 1, 2, 60)
+        assert stats.table.accesses > first

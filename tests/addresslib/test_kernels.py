@@ -1,0 +1,86 @@
+"""Named FIR kernel presets."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import VectorExecutor
+from repro.addresslib.kernels import (KERNEL_FACTORIES, emboss3_op,
+                                      gaussian3_op, gaussian5_op,
+                                      kernel_by_name, motion_blur5_op,
+                                      sharpen3_op)
+from repro.core import AddressEngine, intra_config
+from repro.image import ImageFormat, Frame, noise_frame
+
+FMT = ImageFormat("K32", 32, 32)
+
+
+def flat(value=100):
+    frame = Frame(FMT)
+    frame.y[:] = value
+    return frame
+
+
+class TestNormalisation:
+    @pytest.mark.parametrize("factory", [gaussian3_op, gaussian5_op],
+                             ids=["gaussian3", "gaussian5"])
+    def test_smoothers_preserve_flat_fields(self, factory):
+        result = VectorExecutor.intra(factory(), flat(137))
+        assert (result.y == 137).all()
+
+    def test_sharpen_preserves_flat_fields(self):
+        result = VectorExecutor.intra(sharpen3_op(), flat(64))
+        assert (result.y == 64).all()
+
+    def test_gaussian_reduces_noise_variance(self):
+        frame = noise_frame(FMT, seed=71)
+        g3 = VectorExecutor.intra(gaussian3_op(), frame)
+        g5 = VectorExecutor.intra(gaussian5_op(), frame)
+        assert g3.y.std() < frame.y.std()
+        assert g5.y.std() < g3.y.std()   # wider kernel smooths more
+
+    def test_sharpen_amplifies_edges(self):
+        frame = Frame(FMT)
+        frame.y[:, 16:] = 128
+        sharpened = VectorExecutor.intra(sharpen3_op(), frame)
+        assert sharpened.y[5, 16] > 128          # overshoot
+        assert sharpened.y[5, 15] == 0           # undershoot clamps
+
+    def test_motion_blur_is_horizontal_only(self):
+        frame = Frame(FMT)
+        frame.y[16, :] = 200                     # a horizontal line
+        blurred = VectorExecutor.intra(motion_blur5_op(), frame)
+        assert blurred.y[15, 16] == 0            # untouched vertically
+        frame2 = Frame(FMT)
+        frame2.y[:, 16] = 200                    # a vertical line
+        blurred2 = VectorExecutor.intra(motion_blur5_op(), frame2)
+        assert blurred2.y[16, 15] > 0            # smeared horizontally
+
+
+class TestRegistry:
+    def test_every_kernel_instantiates(self):
+        for name in KERNEL_FACTORIES:
+            op = kernel_by_name(name)
+            assert op.name == f"kernel_{name}"
+
+    def test_lookup_case_insensitive(self):
+        assert kernel_by_name(" Gaussian3 ").name == "kernel_gaussian3"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            kernel_by_name("boxcar7")
+
+
+class TestOnTheEngine:
+    @pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))
+    def test_cycle_model_matches_golden(self, name):
+        op = kernel_by_name(name)
+        frame = noise_frame(FMT, seed=72)
+        config = intra_config(op, FMT)
+        run = AddressEngine().run_call(config, frame)
+        assert run.frame.equals(AddressEngine.run_functional(config,
+                                                             frame))
+
+    def test_emboss_runs(self):
+        frame = noise_frame(FMT, seed=73)
+        result = VectorExecutor.intra(emboss3_op(), frame)
+        assert result.y.shape == frame.y.shape

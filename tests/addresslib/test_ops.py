@@ -1,0 +1,180 @@
+"""Pixel sub-functions: scalar/vector consistency and semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addresslib import (CON_4, CON_8, ChannelSet, INTER_OPS,
+                              INTRA_OPS, fir_op, scale_offset_op,
+                              threshold_op)
+from repro.addresslib.ops import (INTER_ABSDIFF, INTER_ADD, INTER_AVG,
+                                  INTER_MAX, INTER_MIN, INTER_MUL,
+                                  INTER_SUB, INTRA_DILATE, INTRA_ERODE,
+                                  INTRA_GRAD, INTRA_HOMOGENEITY,
+                                  INTRA_MEDIAN3, INTRA_MORPH_GRAD)
+
+bytes_ = st.integers(0, 255)
+
+
+class TestChannelSet:
+    def test_members(self):
+        assert ChannelSet.Y.channel_names == ("Y",)
+        assert ChannelSet.YUV.channel_names == ("Y", "U", "V")
+        assert ChannelSet.YUV.count == 3
+
+
+class TestInterScalarSemantics:
+    @given(a=bytes_, b=bytes_)
+    def test_add_saturates(self, a, b):
+        assert INTER_ADD.apply_scalar(a, b) == min(a + b, 255)
+
+    @given(a=bytes_, b=bytes_)
+    def test_sub_saturates_at_zero(self, a, b):
+        assert INTER_SUB.apply_scalar(a, b) == max(a - b, 0)
+
+    @given(a=bytes_, b=bytes_)
+    def test_absdiff_symmetric(self, a, b):
+        assert (INTER_ABSDIFF.apply_scalar(a, b)
+                == INTER_ABSDIFF.apply_scalar(b, a) == abs(a - b))
+
+    @given(a=bytes_, b=bytes_)
+    def test_min_max_bracket(self, a, b):
+        low = INTER_MIN.apply_scalar(a, b)
+        high = INTER_MAX.apply_scalar(a, b)
+        assert low <= high
+        assert {low, high} == {min(a, b), max(a, b)}
+
+    @given(a=bytes_, b=bytes_)
+    def test_avg_rounds(self, a, b):
+        assert INTER_AVG.apply_scalar(a, b) == (a + b + 1) // 2
+
+    def test_mul_fixed_point(self):
+        assert INTER_MUL.apply_scalar(255, 255) == (255 * 255) >> 8
+        assert INTER_MUL.apply_scalar(0, 200) == 0
+
+
+class TestInterVectorMatchesScalar:
+    @pytest.mark.parametrize("op", list(INTER_OPS.values()),
+                             ids=lambda op: op.name)
+    def test_elementwise_agreement(self, op):
+        rng = np.random.default_rng(17)
+        a = rng.integers(0, 256, size=(7, 9)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(7, 9)).astype(np.uint8)
+        vector = op.apply_vector(a, b)
+        for y in range(7):
+            for x in range(9):
+                assert int(vector[y, x]) == op.apply_scalar(
+                    int(a[y, x]), int(b[y, x])), op.name
+
+    @pytest.mark.parametrize("op", list(INTER_OPS.values()),
+                             ids=lambda op: op.name)
+    def test_output_in_byte_range(self, op):
+        rng = np.random.default_rng(18)
+        a = rng.integers(0, 256, size=(5, 5)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(5, 5)).astype(np.uint8)
+        out = op.apply_vector(a, b).astype(int)
+        assert out.min() >= 0 and out.max() <= 255
+
+
+class TestIntraVectorMatchesScalar:
+    @pytest.mark.parametrize("op", list(INTRA_OPS.values()),
+                             ids=lambda op: op.name)
+    def test_stack_agreement(self, op):
+        rng = np.random.default_rng(19)
+        stack = rng.integers(0, 256,
+                             size=(op.neighbourhood.size, 4, 6)
+                             ).astype(np.uint8)
+        vector = op.apply_vector(stack)
+        for y in range(4):
+            for x in range(6):
+                values = [int(stack[i, y, x])
+                          for i in range(op.neighbourhood.size)]
+                assert int(vector[y, x]) == op.apply_scalar(values), op.name
+
+    def test_wrong_stack_depth_rejected(self):
+        with pytest.raises(ValueError):
+            INTRA_GRAD.apply_vector(np.zeros((3, 2, 2), np.uint8))
+
+    def test_wrong_scalar_arity_rejected(self):
+        with pytest.raises(ValueError):
+            INTRA_GRAD.apply_scalar([1, 2, 3])
+
+
+class TestMorphology:
+    def test_erode_dilate_bracket_centre(self):
+        values = [5, 200, 40, 90, 13, 77, 255, 0, 128]
+        assert INTRA_ERODE.apply_scalar(values) == 0
+        assert INTRA_DILATE.apply_scalar(values) == 255
+        assert INTRA_MORPH_GRAD.apply_scalar(values) == 255
+
+    def test_morph_gradient_zero_on_flat(self):
+        assert INTRA_MORPH_GRAD.apply_scalar([9] * 9) == 0
+
+    def test_median_of_known_set(self):
+        values = [9, 1, 8, 2, 7, 3, 6, 4, 5]
+        assert INTRA_MEDIAN3.apply_scalar(values) == 5
+
+
+class TestGradientOps:
+    def test_grad_zero_on_flat(self):
+        assert INTRA_GRAD.apply_scalar([100] * 9) == 0
+
+    def test_grad_responds_to_edge(self):
+        # Offsets ordered row-major: left column dark, right bright.
+        values = [0, 128, 255, 0, 128, 255, 0, 128, 255]
+        assert INTRA_GRAD.apply_scalar(values) > 100
+
+    def test_homogeneity_zero_on_flat(self):
+        assert INTRA_HOMOGENEITY.apply_scalar([50] * 9) == 0
+
+    def test_homogeneity_max_deviation(self):
+        values = [50] * 9
+        values[0] = 80
+        assert INTRA_HOMOGENEITY.apply_scalar(values) == 30
+
+
+class TestParameterisedOps:
+    def test_threshold(self):
+        op = threshold_op(100)
+        assert op.apply_scalar([99]) == 0
+        assert op.apply_scalar([100]) == 255
+
+    def test_scale_offset(self):
+        op = scale_offset_op(1, 2, 10)
+        assert op.apply_scalar([100]) == 60
+        assert op.apply_scalar([255]) == 137
+
+    def test_scale_offset_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            scale_offset_op(1, 0, 0)
+
+    def test_fir_identity_kernel(self):
+        weights = [0] * 9
+        weights[CON_8.offsets.index((0, 0))] = 1
+        op = fir_op("identity", CON_8, weights)
+        values = list(range(9))
+        centre = values[CON_8.offsets.index((0, 0))]
+        assert op.apply_scalar(values) == centre
+
+    def test_fir_weight_count_checked(self):
+        with pytest.raises(ValueError):
+            fir_op("bad", CON_4, [1, 2, 3])
+
+    @given(st.lists(bytes_, min_size=9, max_size=9))
+    @settings(max_examples=50)
+    def test_fir_box_matches_mean(self, values):
+        op = fir_op("box_shift", CON_8, [1] * 9, shift=3)
+        expected = min(sum(values) >> 3, 255)
+        assert op.apply_scalar(values) == expected
+
+
+class TestCosts:
+    @pytest.mark.parametrize("op", list(INTRA_OPS.values()),
+                             ids=lambda op: op.name)
+    def test_every_op_has_processing_cost(self, op):
+        assert op.cost.total > 0
+
+    def test_engine_latency_at_least_one(self):
+        for op in list(INTRA_OPS.values()) + list(INTER_OPS.values()):
+            assert op.engine_cycles >= 1

@@ -1,0 +1,113 @@
+"""Instruction profiling: cost algebra, class splits, Amdahl bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addresslib import (ADDRESSING_CLASSES, INSTRUCTION_CLASSES,
+                              InstructionCost, OpProfile,
+                              PROCESSING_CLASSES)
+
+costs = st.builds(
+    InstructionCost,
+    addr=st.floats(0, 100), load=st.floats(0, 100),
+    store=st.floats(0, 100), alu=st.floats(0, 100),
+    mul=st.floats(0, 100), branch=st.floats(0, 100))
+
+
+class TestInstructionCost:
+    def test_classes_partition(self):
+        assert set(ADDRESSING_CLASSES) | set(PROCESSING_CLASSES) == \
+            set(INSTRUCTION_CLASSES)
+        assert not set(ADDRESSING_CLASSES) & set(PROCESSING_CLASSES)
+
+    @given(costs, st.floats(0, 10))
+    def test_scaled_total(self, cost, factor):
+        assert cost.scaled(factor).total == pytest.approx(
+            cost.total * factor)
+
+    @given(costs, costs)
+    def test_plus_is_classwise(self, a, b):
+        combined = a.plus(b)
+        for name in INSTRUCTION_CLASSES:
+            assert getattr(combined, name) == pytest.approx(
+                getattr(a, name) + getattr(b, name))
+
+    def test_as_dict(self):
+        cost = InstructionCost(addr=1, mul=2)
+        d = cost.as_dict()
+        assert d["addr"] == 1 and d["mul"] == 2 and d["alu"] == 0
+
+
+class TestOpProfile:
+    def test_add_cost_scales_by_units(self):
+        profile = OpProfile()
+        profile.add_cost(InstructionCost(addr=2, alu=1), units=10)
+        assert profile.counts["addr"] == 20
+        assert profile.total_instructions == 30
+
+    def test_merge(self):
+        a = OpProfile()
+        a.add_cost(InstructionCost(load=5))
+        a.add_call()
+        b = OpProfile()
+        b.add_cost(InstructionCost(load=3, mul=2))
+        b.add_call()
+        a.merge(b)
+        assert a.counts["load"] == 8
+        assert a.calls == 2
+
+    def test_addressing_fraction(self):
+        profile = OpProfile()
+        profile.add_cost(InstructionCost(addr=6, load=2, store=1, branch=1))
+        profile.add_cost(InstructionCost(alu=8, mul=2))
+        assert profile.addressing_fraction == pytest.approx(0.5)
+
+    def test_empty_profile_fraction_zero(self):
+        assert OpProfile().addressing_fraction == 0.0
+
+    def test_reset(self):
+        profile = OpProfile()
+        profile.add_cost(InstructionCost(alu=1))
+        profile.add_call()
+        profile.reset()
+        assert profile.total_instructions == 0
+        assert profile.calls == 0
+
+
+class TestAmdahl:
+    def test_infinite_acceleration_bound(self):
+        profile = OpProfile()
+        # 29 of 30 instructions offloadable -> bound of 30.
+        profile.add_cost(InstructionCost(addr=29, alu=1))
+        bound = profile.amdahl_speedup_bound(
+            offloadable_fraction=29 / 30)
+        assert bound == pytest.approx(30.0)
+
+    def test_finite_acceleration(self):
+        profile = OpProfile()
+        bound = profile.amdahl_speedup_bound(offloadable_fraction=0.9,
+                                             accel=9.0)
+        assert bound == pytest.approx(1.0 / (0.1 + 0.9 / 9))
+
+    def test_fully_offloadable_is_unbounded(self):
+        profile = OpProfile()
+        assert profile.amdahl_speedup_bound(
+            offloadable_fraction=1.0) == float("inf")
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            OpProfile().amdahl_speedup_bound(offloadable_fraction=1.5)
+
+    def test_default_uses_addressing_fraction(self):
+        profile = OpProfile()
+        profile.add_cost(InstructionCost(addr=3, alu=1))
+        assert profile.amdahl_speedup_bound() == pytest.approx(4.0)
+
+    @given(fraction=st.floats(0.0, 0.99))
+    def test_bound_monotone_in_fraction(self, fraction):
+        p = OpProfile()
+        low = p.amdahl_speedup_bound(offloadable_fraction=fraction)
+        high = p.amdahl_speedup_bound(
+            offloadable_fraction=min(fraction + 0.005, 0.995))
+        assert high >= low

@@ -1,0 +1,165 @@
+"""Segment addressing: geodesic expansion semantics."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import (CON_4, CON_8, OpProfile, SegmentProcessor,
+                              luma_band_criterion, luma_delta_criterion,
+                              yuv_delta_criterion)
+from repro.image import ImageFormat, Frame, blob_frame
+
+FMT = ImageFormat("T20", 20, 20)
+
+
+def square_frame(low=20, high=200):
+    """A bright 6x6 square on dark background."""
+    frame = Frame(FMT)
+    frame.y[:] = low
+    frame.y[5:11, 5:11] = high
+    return frame
+
+
+class TestExpansionBasics:
+    def test_segment_fills_homogeneous_square(self):
+        frame = square_frame()
+        result = SegmentProcessor().expand(
+            frame, [(7, 7)], luma_delta_criterion(10))
+        assert result.pixels_processed == 36
+        assert result.segment_mask(0).sum() == 36
+        assert (result.labels[5:11, 5:11] == 0).all()
+
+    def test_expansion_respects_criterion_boundary(self):
+        frame = square_frame()
+        result = SegmentProcessor().expand(
+            frame, [(7, 7)], luma_delta_criterion(10))
+        assert (result.labels[0:5, :] == -1).all()
+
+    def test_geodesic_distance_is_bfs_depth(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100  # fully homogeneous: expansion floods the frame
+        result = SegmentProcessor().expand(
+            frame, [(0, 0)], luma_delta_criterion(5))
+        assert result.distance[0, 0] == 0
+        assert result.distance[0, 5] == 5   # 4-connected Manhattan
+        assert result.distance[3, 4] == 7
+        assert result.pixels_processed == FMT.pixels
+
+    def test_processing_order_is_nondecreasing_distance(self):
+        """'All pixels of the segment are processed in order of geodesic
+        distance' -- the defining property of the scheme."""
+        frame = square_frame()
+        result = SegmentProcessor().expand(
+            frame, [(7, 7)], luma_delta_criterion(10))
+        depths = [int(result.distance[y, x]) for x, y in result.order]
+        assert depths == sorted(depths)
+
+    def test_eight_connectivity_crosses_diagonals(self):
+        frame = Frame(FMT)
+        frame.y[:] = 10
+        # A diagonal line of bright pixels.
+        for i in range(5):
+            frame.y[i, i] = 200
+        criterion = luma_band_criterion(200, 5)
+        four = SegmentProcessor(CON_4).expand(frame, [(0, 0)], criterion)
+        eight = SegmentProcessor(CON_8).expand(frame, [(0, 0)], criterion)
+        assert four.pixels_processed == 1
+        assert eight.pixels_processed == 5
+
+
+class TestSeeds:
+    def test_multiple_seeds_multiple_segments(self):
+        frame = blob_frame(FMT, [(4, 4), (15, 15)], radius=3)
+        result = SegmentProcessor().expand(
+            frame, [(4, 4), (15, 15)], luma_delta_criterion(8))
+        sizes = result.segment_sizes()
+        assert set(sizes) == {0, 1}
+        assert sizes[0] == sizes[1]  # equal blobs
+
+    def test_competing_seeds_split_by_distance(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        result = SegmentProcessor().expand(
+            frame, [(0, 10), (19, 10)], luma_delta_criterion(5))
+        # Left half belongs to seed 0, right half to seed 1.
+        assert result.labels[10, 2] == 0
+        assert result.labels[10, 17] == 1
+        assert result.pixels_processed == FMT.pixels
+
+    def test_out_of_frame_seed_rejected(self):
+        frame = Frame(FMT)
+        with pytest.raises(ValueError):
+            SegmentProcessor().expand(frame, [(30, 0)],
+                                      luma_delta_criterion(5))
+
+    def test_duplicate_seed_first_wins(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        result = SegmentProcessor().expand(
+            frame, [(5, 5), (5, 5)], luma_delta_criterion(5))
+        assert (result.labels[result.labels >= 0] == 0).all()
+
+
+class TestLimitsAndSideEffects:
+    def test_max_pixels_stops_expansion(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        result = SegmentProcessor().expand(
+            frame, [(10, 10)], luma_delta_criterion(5), max_pixels=25)
+        assert result.pixels_processed == 25
+
+    def test_process_callback_sees_every_pixel(self):
+        frame = square_frame()
+        touched = []
+        SegmentProcessor().expand(
+            frame, [(7, 7)], luma_delta_criterion(10),
+            process=lambda f, x, y: touched.append((x, y)))
+        assert len(touched) == 36
+
+    def test_statistics_side_table(self):
+        frame = square_frame()
+        result = SegmentProcessor().expand(
+            frame, [(7, 7)], luma_delta_criterion(10))
+        stats = result.statistics
+        assert stats.area(0) == 36
+        assert stats.mean_luma(0) == pytest.approx(200.0)
+        assert stats.bounding_box(0) == (5, 5, 10, 10)
+
+    def test_label_into_aux(self):
+        frame = square_frame()
+        result = SegmentProcessor().label_into_aux(
+            frame, [(7, 7)], luma_delta_criterion(10), base_label=5)
+        assert (frame.aux[result.segment_mask(0)] == 5).all()
+        assert frame.aux[0, 0] == 0
+
+    def test_profile_accumulates(self):
+        profile = OpProfile()
+        frame = square_frame()
+        SegmentProcessor(profile=profile).expand(
+            frame, [(7, 7)], luma_delta_criterion(10))
+        assert profile.total_instructions > 0
+        assert profile.calls == 1
+        # Queue/criteria work dominates: addressing classes > processing.
+        assert profile.addressing_fraction > 0.7
+
+
+class TestCriteria:
+    def test_yuv_criterion_blocks_on_chroma(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        frame.u[:, :10] = 100
+        frame.u[:, 10:] = 200
+        criterion = yuv_delta_criterion(max_luma=50, max_chroma=10)
+        result = SegmentProcessor().expand(frame, [(0, 0)], criterion)
+        assert (result.labels[:, 10:] == -1).all()
+        assert (result.labels[:, :10] == 0).all()
+
+    def test_band_criterion_anchored_to_reference(self):
+        frame = Frame(FMT)
+        # A slow ramp: pairwise deltas small, total drift large.
+        frame.y[:] = np.tile(np.arange(0, 100, 5, dtype=np.uint8), (20, 1))
+        pairwise = SegmentProcessor().expand(
+            frame, [(0, 0)], luma_delta_criterion(5))
+        banded = SegmentProcessor().expand(
+            frame, [(0, 0)], luma_band_criterion(0, 20))
+        assert pairwise.pixels_processed == FMT.pixels  # drift leaks
+        assert banded.pixels_processed == 5 * 20        # band stops it

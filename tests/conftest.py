@@ -1,0 +1,46 @@
+"""Shared fixtures: small frame formats and deterministic content.
+
+Cycle-level engine tests run on small custom formats (the model accepts
+any rectangular size); QCIF/CIF are reserved for the analytic checks
+where exact paper numbers matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.image import ImageFormat, noise_frame
+
+
+@pytest.fixture
+def fmt16() -> ImageFormat:
+    """A 16x16 frame: one strip."""
+    return ImageFormat("T16", 16, 16)
+
+
+@pytest.fixture
+def fmt32() -> ImageFormat:
+    """A 32x32 frame: two strips (exercises block A/B double buffering)."""
+    return ImageFormat("T32", 32, 32)
+
+
+@pytest.fixture
+def fmt48x32() -> ImageFormat:
+    """A non-square two-strip frame."""
+    return ImageFormat("T48x32", 48, 32)
+
+
+@pytest.fixture
+def frame16(fmt16):
+    """Deterministic random content in all five channels."""
+    return noise_frame(fmt16, seed=101)
+
+
+@pytest.fixture
+def frame32(fmt32):
+    return noise_frame(fmt32, seed=202)
+
+
+@pytest.fixture
+def frame32_b(fmt32):
+    return noise_frame(fmt32, seed=203)

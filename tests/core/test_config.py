@@ -1,0 +1,64 @@
+"""Engine call configuration: the v1 hardware envelope."""
+
+import pytest
+
+from repro.addresslib import (AddressingMode, COLUMN_9, INTER_ABSDIFF,
+                              INTRA_COPY, INTRA_GRAD, Neighbourhood,
+                              ScanOrder, fir_op)
+from repro.core import (EngineConfig, EngineConfigError, IIM_LINES,
+                        IIM_LINES_PER_IMAGE_INTER, inter_config,
+                        intra_config)
+from repro.image import CIF, QCIF
+
+
+class TestValidConfigs:
+    def test_intra_defaults(self):
+        config = intra_config(INTRA_GRAD, CIF)
+        assert config.mode is AddressingMode.INTRA
+        assert config.images_in == 1
+        assert config.produces_image
+        assert config.iim_lines_per_image == IIM_LINES
+
+    def test_inter_defaults(self):
+        config = inter_config(INTER_ABSDIFF, QCIF)
+        assert config.images_in == 2
+        assert config.iim_lines_per_image == IIM_LINES_PER_IMAGE_INTER
+
+    def test_reduce_produces_no_image(self):
+        config = inter_config(INTER_ABSDIFF, CIF, reduce_to_scalar=True)
+        assert not config.produces_image
+
+    def test_nine_line_neighbourhood_accepted(self):
+        op = fir_op("col9", COLUMN_9, [1] * 9, shift=3)
+        intra_config(op, CIF)  # must not raise
+
+
+class TestRejectedConfigs:
+    def test_segment_mode_rejected(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(mode=AddressingMode.SEGMENT, op=INTRA_COPY,
+                         fmt=CIF)
+
+    def test_mode_op_mismatch(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(mode=AddressingMode.INTER, op=INTRA_COPY, fmt=CIF)
+        with pytest.raises(EngineConfigError):
+            EngineConfig(mode=AddressingMode.INTRA, op=INTER_ABSDIFF,
+                         fmt=CIF)
+
+    def test_vertical_scan_rejected_by_v1(self):
+        with pytest.raises(EngineConfigError):
+            intra_config(INTRA_GRAD, CIF, scan=ScanOrder.VERTICAL)
+
+    def test_intra_cannot_require_full_frames(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(mode=AddressingMode.INTRA, op=INTRA_GRAD,
+                         fmt=CIF, requires_full_frames=True)
+
+    def test_intra_cannot_reduce(self):
+        with pytest.raises(EngineConfigError):
+            EngineConfig(mode=AddressingMode.INTRA, op=INTRA_GRAD,
+                         fmt=CIF, reduce_to_scalar=True)
+
+    def test_op_name_passthrough(self):
+        assert intra_config(INTRA_GRAD, CIF).op_name == "intra_grad"

@@ -1,0 +1,173 @@
+"""The assembled engine: golden equivalence, dataflow, accounting.
+
+Every cycle-level run is checked bit-exact against the vector executor --
+the central correctness contract of the coprocessor model.
+"""
+
+import pytest
+
+from repro.addresslib import (COLUMN_9, CON_24, ChannelSet, INTER_ABSDIFF,
+                              INTER_AVG, INTER_MUL, INTRA_BOX3, INTRA_COPY,
+                              INTRA_ERODE, INTRA_GRAD, INTRA_MEDIAN3,
+                              fir_op)
+from repro.core import (AddressEngine, EngineDeadlock, IIM_LINES,
+                        inter_config, intra_config)
+from repro.image import ImageFormat, noise_frame
+
+ENGINE = AddressEngine()
+
+
+def run_and_check(config, a, b=None):
+    result = ENGINE.run_call(config, a, b)
+    golden = AddressEngine.run_functional(config, a, b)
+    if config.produces_image:
+        assert result.frame.equals(golden)
+    else:
+        assert result.scalar == golden
+    return result
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("op", [INTRA_COPY, INTRA_GRAD, INTRA_BOX3,
+                                    INTRA_ERODE, INTRA_MEDIAN3],
+                             ids=lambda op: op.name)
+    def test_intra_ops(self, fmt32, op):
+        frame = noise_frame(fmt32, seed=1)
+        run_and_check(intra_config(op, fmt32), frame)
+
+    @pytest.mark.parametrize("op", [INTER_ABSDIFF, INTER_AVG, INTER_MUL],
+                             ids=lambda op: op.name)
+    def test_inter_ops(self, fmt32, op):
+        a = noise_frame(fmt32, seed=2)
+        b = noise_frame(fmt32, seed=3)
+        run_and_check(inter_config(op, fmt32), a, b)
+
+    def test_yuv_channels(self, fmt32):
+        frame = noise_frame(fmt32, seed=4)
+        run_and_check(intra_config(INTRA_GRAD, fmt32, ChannelSet.YUV),
+                      frame)
+
+    def test_meta_channels_pass_through(self, fmt32):
+        """Alfa/Aux ride along untouched in the upper word."""
+        frame = noise_frame(fmt32, seed=5)
+        result = ENGINE.run_call(intra_config(INTRA_GRAD, fmt32), frame)
+        import numpy as np
+        assert np.array_equal(result.frame.alfa, frame.alfa)
+        assert np.array_equal(result.frame.aux, frame.aux)
+
+    def test_non_square_frame(self, fmt48x32):
+        frame = noise_frame(fmt48x32, seed=6)
+        run_and_check(intra_config(INTRA_GRAD, fmt48x32), frame)
+
+    def test_nine_line_worst_case_neighbourhood(self, fmt32):
+        """Figure 4's perpendicular 9-line column still runs (the IIM
+        holds 16 lines, enough for the worst case)."""
+        op = fir_op("col9_avg", COLUMN_9, [1] * 9, shift=3)
+        frame = noise_frame(fmt32, seed=7)
+        run_and_check(intra_config(op, fmt32), frame)
+
+    def test_5x5_neighbourhood(self, fmt32):
+        op = fir_op("box5", CON_24, [1] * 25, shift=5)
+        frame = noise_frame(fmt32, seed=8)
+        run_and_check(intra_config(op, fmt32), frame)
+
+    def test_scalar_reduce(self, fmt32, frame32, frame32_b):
+        config = inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True)
+        run_and_check(config, frame32, frame32_b)
+
+    def test_special_inter_full_frames(self, fmt32, frame32, frame32_b):
+        config = inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True,
+                              requires_full_frames=True)
+        run_and_check(config, frame32, frame32_b)
+
+
+class TestAccounting:
+    def test_table2_pixel_ops_intra(self, fmt32, frame32):
+        """One parallel fetch + one store per pixel: the HW column."""
+        result = ENGINE.run_call(intra_config(INTRA_GRAD, fmt32), frame32)
+        assert result.zbt_pixel_ops == 2 * fmt32.pixels
+
+    def test_reduce_halves_pixel_ops(self, fmt32, frame32, frame32_b):
+        config = inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True)
+        result = ENGINE.run_call(config, frame32, frame32_b)
+        # Two input TxUs read every pixel once; nothing is stored.
+        assert result.zbt_pixel_ops == 2 * fmt32.pixels
+        assert result.output_txu is None
+
+    def test_matrix_reuse_statistics(self, fmt32, frame32):
+        result = ENGINE.run_call(intra_config(INTRA_GRAD, fmt32), frame32)
+        assert result.matrix_loads == fmt32.height      # one per row
+        assert result.matrix_shifts == fmt32.pixels - fmt32.height
+        expected_fetches = (fmt32.height * 9
+                            + (fmt32.pixels - fmt32.height) * 3)
+        assert result.matrix_pixels_fetched == expected_fetches
+
+    def test_every_pixel_cycle_retired(self, fmt32, frame32):
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        assert result.plc_stats.issued_pixel_cycles == fmt32.pixels
+        assert result.plc_stats.retired_pixel_cycles == fmt32.pixels
+
+    def test_pci_word_totals(self, fmt32, frame32):
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        assert result.pci.words_to_board == 2 * fmt32.pixels
+        assert result.pci.words_to_host == 2 * fmt32.pixels
+
+    def test_completion_interrupt_raised(self, fmt32, frame32):
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        names = [i.name for i in result.pci.interrupts]
+        assert "call_done" in names
+        assert "readback_start" in names
+        assert sum(1 for n in names if n.startswith("dma_done:in:")) == \
+            fmt32.strips
+
+
+class TestDataflowBehaviour:
+    def test_processing_overlaps_input_transfer(self, fmt32, frame32):
+        """Strip double buffering: pixel-cycles retire before the input
+        DMA finishes (Figure 3's whole point)."""
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        # The input completes well before the call does; the PLC must
+        # have been working during the input phase, i.e. the total run
+        # is far shorter than serial transfer + processing + readback.
+        serial = (result.input_complete_cycle + fmt32.pixels
+                  + 2 * fmt32.pixels)
+        assert result.cycles < serial
+
+    def test_special_inter_defers_processing(self, fmt32, frame32,
+                                             frame32_b):
+        normal = ENGINE.run_call(
+            inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True),
+            frame32, frame32_b)
+        special = ENGINE.run_call(
+            inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True,
+                         requires_full_frames=True),
+            frame32, frame32_b)
+        assert special.cycles > normal.cycles
+        assert special.plc_stats.stall_disabled > 0
+
+    def test_oim_absorbs_rate_mismatch(self, fmt32, frame32):
+        """The PU peaks above the output TxU's pixel/cycle: the OIM must
+        actually buffer (peak occupancy > 1) yet never overflow."""
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        assert 1 < result.oim_peak_pixels <= IIM_LINES * fmt32.width
+
+    def test_deadlock_guard(self, fmt16, frame16):
+        with pytest.raises(EngineDeadlock):
+            ENGINE.run_call(intra_config(INTRA_COPY, fmt16), frame16,
+                            max_cycles=10)
+
+
+class TestValidation:
+    def test_inter_requires_two_frames(self, fmt32, frame32):
+        with pytest.raises(ValueError):
+            ENGINE.run_call(inter_config(INTER_ABSDIFF, fmt32), frame32)
+
+    def test_frame_format_must_match(self, fmt16, fmt32):
+        frame = noise_frame(fmt32, seed=9)
+        with pytest.raises(ValueError):
+            ENGINE.run_call(intra_config(INTRA_COPY, fmt16), frame)
+
+    def test_seconds_property(self, fmt16, frame16):
+        result = ENGINE.run_call(intra_config(INTRA_COPY, fmt16), frame16)
+        assert result.seconds == pytest.approx(
+            result.cycles / 66_000_000)

@@ -1,0 +1,117 @@
+"""Engine edge geometries and channel configurations."""
+
+import pytest
+
+from repro.addresslib import (COLUMN_9, ChannelSet, INTER_ABSDIFF,
+                              INTER_MIN, INTRA_GRAD, fir_op)
+from repro.core import AddressEngine, inter_config, intra_config
+from repro.image import ImageFormat, QCIF, noise_frame
+
+ENGINE = AddressEngine()
+
+
+def check(config, a, b=None):
+    run = ENGINE.run_call(config, a, b)
+    golden = AddressEngine.run_functional(config, a, b)
+    if config.produces_image:
+        assert run.frame.equals(golden)
+    else:
+        assert run.scalar == golden
+    return run
+
+
+class TestBorderGeometries:
+    def test_column9_taller_than_frame(self):
+        """A 9-line neighbourhood on an 8-line frame: every fetch clamps
+        vertically, and the whole frame is a single partial strip."""
+        fmt = ImageFormat("E8", 12, 8)
+        op = fir_op("edge_col9", COLUMN_9, [1] * 9, shift=3)
+        check(intra_config(op, fmt), noise_frame(fmt, seed=1))
+
+    def test_minimum_width_frame(self):
+        fmt = ImageFormat("E4w", 4, 32)
+        check(intra_config(INTRA_GRAD, fmt), noise_frame(fmt, seed=2))
+
+    def test_single_row_strip_tail(self):
+        """A height that leaves a 1-line final strip."""
+        fmt = ImageFormat("E17", 8, 17)
+        check(intra_config(INTRA_GRAD, fmt), noise_frame(fmt, seed=3))
+
+    def test_wide_flat_frame(self):
+        fmt = ImageFormat("E64x4", 64, 4)
+        check(intra_config(INTRA_GRAD, fmt), noise_frame(fmt, seed=4))
+
+
+class TestChannelConfigurations:
+    def test_inter_yuv_image(self, fmt32, frame32, frame32_b):
+        check(inter_config(INTER_MIN, fmt32, ChannelSet.YUV),
+              frame32, frame32_b)
+
+    def test_inter_yuv_reduce(self, fmt32, frame32, frame32_b):
+        check(inter_config(INTER_ABSDIFF, fmt32, ChannelSet.YUV,
+                           reduce_to_scalar=True), frame32, frame32_b)
+
+    def test_yuv_reduce_sums_all_channels(self, fmt32, frame32,
+                                          frame32_b):
+        y_only = ENGINE.run_call(
+            inter_config(INTER_ABSDIFF, fmt32, ChannelSet.Y,
+                         reduce_to_scalar=True), frame32, frame32_b)
+        yuv = ENGINE.run_call(
+            inter_config(INTER_ABSDIFF, fmt32, ChannelSet.YUV,
+                         reduce_to_scalar=True), frame32, frame32_b)
+        assert yuv.scalar > y_only.scalar
+
+
+class TestPaperFormatSimulation:
+    def test_qcif_full_cycle_simulation(self):
+        """One complete QCIF call through the cycle model: the paper's
+        smaller format end to end, with the exact closed-form time."""
+        frame = noise_frame(QCIF, seed=5)
+        config = intra_config(INTRA_GRAD, QCIF)
+        run = check(config, frame)
+        from repro.perf import EngineTimingModel
+        assert EngineTimingModel().call_cycles(config) == run.cycles
+        assert run.zbt_pixel_ops == 2 * QCIF.pixels
+        # 9 strips' worth of input interrupts + readback + completion.
+        assert len(run.pci.interrupts) == QCIF.strips + 3
+
+
+class TestDegenerateFrames:
+    """Degenerate geometries the model must survive gracefully."""
+
+    @pytest.mark.parametrize("w,h", [(1, 1), (2, 2), (1, 8), (8, 1)],
+                             ids=["1x1", "2x2", "1x8", "8x1"])
+    def test_tiny_frames_run_and_match_golden(self, w, h):
+        fmt = ImageFormat(f"TINY{w}x{h}", w, h)
+        frame = noise_frame(fmt, seed=1)
+        config = intra_config(INTRA_GRAD, fmt)
+        run = ENGINE.run_call(config, frame)
+        assert run.frame.equals(AddressEngine.run_functional(config,
+                                                             frame))
+
+    def test_one_pixel_inter(self):
+        fmt = ImageFormat("TINY1", 1, 1)
+        a = noise_frame(fmt, seed=2)
+        b = noise_frame(fmt, seed=3)
+        config = inter_config(INTER_ABSDIFF, fmt)
+        run = ENGINE.run_call(config, a, b)
+        assert run.frame.equals(AddressEngine.run_functional(config, a, b))
+        assert run.zbt_pixel_ops == 3  # two fetches + one store
+
+
+class TestEmptySeeds:
+    def test_software_segment_with_no_seeds(self):
+        from repro.addresslib import AddressLib, luma_delta_criterion
+        fmt = ImageFormat("ES16", 16, 16)
+        frame = noise_frame(fmt, seed=4)
+        result = AddressLib().segment(frame, [], luma_delta_criterion(5))
+        assert result.pixels_processed == 0
+        assert (result.labels == -1).all()
+
+    def test_v2_unit_with_no_seeds(self):
+        from repro.core import SegmentCallConfig, SegmentUnit
+        fmt = ImageFormat("ES16b", 16, 16)
+        frame = noise_frame(fmt, seed=5)
+        run = SegmentUnit().run_call(SegmentCallConfig(fmt, 5), frame, [])
+        assert run.pixels_processed == 0
+        assert run.expansion_cycles == 0

@@ -1,0 +1,128 @@
+"""The IIM: line-store FIFOs, handshakes, one-cycle neighbourhood reads."""
+
+import pytest
+
+from repro.core import (IIM_LINES, IIM_LINES_PER_IMAGE_INTER,
+                        InputIntermediateMemory, LineStoreFifo)
+
+
+def fill_line(fifo, width, base=0):
+    for x in range(width):
+        fifo.push_pixel(base + x, base + x + 1000)
+
+
+class TestLineStoreFifo:
+    def test_line_becomes_resident_when_complete(self):
+        fifo = LineStoreFifo(capacity_lines=4, width=3)
+        fifo.push_pixel(1, 2)
+        assert fifo.resident_lines == []
+        fifo.push_pixel(3, 4)
+        fifo.push_pixel(5, 6)
+        assert fifo.resident_lines == [0]
+        assert fifo.read_pixel(0, 0) == (1, 2)
+        assert fifo.read_pixel(2, 0) == (5, 6)
+
+    def test_lines_fill_in_frame_order(self):
+        fifo = LineStoreFifo(4, 2)
+        fill_line(fifo, 2)
+        assert fifo.next_line_to_fill == 1
+        fill_line(fifo, 2, base=10)
+        assert fifo.resident_lines == [0, 1]
+
+    def test_full_and_empty_signals(self):
+        fifo = LineStoreFifo(2, 2)
+        assert fifo.empty and not fifo.full
+        fill_line(fifo, 2)
+        fill_line(fifo, 2)
+        assert fifo.full and not fifo.empty
+        assert not fifo.can_accept_pixel()
+
+    def test_overflow_raises(self):
+        fifo = LineStoreFifo(1, 2)
+        fill_line(fifo, 2)
+        with pytest.raises(RuntimeError):
+            fifo.push_pixel(0, 0)
+
+    def test_release_frees_capacity(self):
+        fifo = LineStoreFifo(2, 2)
+        fill_line(fifo, 2)
+        fill_line(fifo, 2)
+        freed = fifo.release_through(0)
+        assert freed == 1
+        assert fifo.resident_lines == [1]
+        assert fifo.can_accept_pixel()
+        fill_line(fifo, 2)
+        assert fifo.resident_lines == [1, 2]
+
+    def test_lines_resident_range_check(self):
+        fifo = LineStoreFifo(4, 2)
+        fill_line(fifo, 2)
+        fill_line(fifo, 2)
+        assert fifo.lines_resident(0, 1)
+        assert not fifo.lines_resident(0, 2)
+        assert fifo.lines_resident(-3, 1)  # negative clamped away
+
+    def test_unlimited_same_cycle_reads(self):
+        """All line blocks read in parallel: the one-cycle neighbourhood
+        fetch needs arbitrarily many reads per cycle."""
+        fifo = LineStoreFifo(9, 4)
+        for line in range(9):
+            fill_line(fifo, 4, base=line * 10)
+        column = [fifo.read_pixel(2, line) for line in range(9)]
+        assert len(column) == 9  # no budget, no error
+
+    def test_read_validation(self):
+        fifo = LineStoreFifo(2, 2)
+        fill_line(fifo, 2)
+        with pytest.raises(KeyError):
+            fifo.read_pixel(0, 5)
+        with pytest.raises(IndexError):
+            fifo.read_pixel(2, 0)
+
+    def test_reset(self):
+        fifo = LineStoreFifo(2, 2)
+        fill_line(fifo, 2)
+        fifo.reset()
+        assert fifo.empty
+        assert fifo.next_line_to_fill == 0
+
+
+class TestInputIntermediateMemory:
+    def test_intra_is_one_sixteen_line_fifo(self):
+        iim = InputIntermediateMemory(width=8, total_lines=IIM_LINES,
+                                      images=1)
+        assert len(iim.fifos) == 1
+        assert iim.fifo(0).capacity_lines == IIM_LINES
+
+    def test_inter_splits_into_two_eight_line_fifos(self):
+        """Section 3.3: 'two FIFOs, one for every input image, with 8
+        lines each'."""
+        iim = InputIntermediateMemory(width=8, total_lines=IIM_LINES,
+                                      images=2)
+        assert len(iim.fifos) == 2
+        assert all(f.capacity_lines == IIM_LINES_PER_IMAGE_INTER
+                   for f in iim.fifos)
+
+    def test_combined_signals(self):
+        """'We will generate the same signals for both of the FIFOs.'"""
+        iim = InputIntermediateMemory(width=2, total_lines=4, images=2)
+        assert iim.empty
+        fill_line(iim.fifo(0), 2)
+        assert iim.empty  # the other FIFO is still empty
+        fill_line(iim.fifo(1), 2)
+        assert not iim.empty
+        fill_line(iim.fifo(0), 2)
+        assert iim.full  # one side full is FULL
+
+    def test_memory_block_count_matches_paper(self):
+        """16 lines x 2 banks = 'these 32 memory blocks are implemented
+        in the FPGA embedded memory'."""
+        iim = InputIntermediateMemory(width=8, total_lines=IIM_LINES,
+                                      images=1)
+        assert iim.memory_blocks == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InputIntermediateMemory(width=8, total_lines=16, images=3)
+        with pytest.raises(ValueError):
+            InputIntermediateMemory(width=8, total_lines=15, images=2)

@@ -1,0 +1,81 @@
+"""The image level controller, exercised directly."""
+
+import pytest
+
+from repro.addresslib import INTER_ABSDIFF, INTRA_COPY, INTRA_GRAD
+from repro.core import (AddressEngine, BANK_WORDS, ZBTLayout, inter_config,
+                        intra_config)
+from repro.image import CIF, ImageFormat, QCIF, STRIP_LINES, noise_frame
+
+ENGINE = AddressEngine()
+
+
+class TestInputScheduling:
+    def test_strip_jobs_interleave_images_for_inter(self, fmt32, frame32,
+                                                    frame32_b):
+        run = ENGINE.run_call(inter_config(INTER_ABSDIFF, fmt32),
+                              frame32, frame32_b)
+        labels = [i.name for i in run.pci.interrupts
+                  if i.name.startswith("dma_done:in:")]
+        assert labels == [
+            "dma_done:in:img0:strip0", "dma_done:in:img1:strip0",
+            "dma_done:in:img0:strip1", "dma_done:in:img1:strip1"]
+
+    def test_strip_jobs_in_frame_order_for_intra(self, fmt48x32):
+        frame = noise_frame(fmt48x32, seed=8)
+        run = ENGINE.run_call(intra_config(INTRA_COPY, fmt48x32), frame)
+        labels = [i.name for i in run.pci.interrupts
+                  if i.name.startswith("dma_done:in:")]
+        assert labels == ["dma_done:in:img0:strip0",
+                          "dma_done:in:img0:strip1"]
+
+    def test_input_complete_cycle_precedes_completion(self, fmt32,
+                                                      frame32):
+        run = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        assert 0 < run.input_complete_cycle < run.completion_cycle
+
+
+class TestReadbackGating:
+    def test_readback_interrupt_after_last_input_interrupt(self, fmt32,
+                                                           frame32):
+        run = ENGINE.run_call(intra_config(INTRA_GRAD, fmt32), frame32)
+        cycles = {i.name: i.cycle for i in run.pci.interrupts}
+        last_input = max(cycle for name, cycle in cycles.items()
+                         if name.startswith("dma_done:in:"))
+        assert cycles["readback_start"] >= last_input
+
+    def test_readback_words_complete_and_ordered(self, fmt32, frame32):
+        run = ENGINE.run_call(intra_config(INTRA_COPY, fmt32), frame32)
+        assert run.pci.words_to_host == 2 * fmt32.pixels
+        # COPY on Y leaves luma intact: the first readback word (lower
+        # word of pixel 0) must equal the source pixel's colour word.
+        lower, _ = frame32.to_words()
+        assert run.frame.y[0, 0] == frame32.y[0, 0]
+
+    def test_scalar_readback_is_two_words(self, fmt32, frame32,
+                                          frame32_b):
+        config = inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True)
+        run = ENGINE.run_call(config, frame32, frame32_b)
+        assert run.pci.words_to_host == 2
+
+
+class TestMemoryCapacity:
+    """The paper's claim: the ZBT 'permits to store two input and one
+    output image structure of either image type employed'."""
+
+    @pytest.mark.parametrize("fmt", [QCIF, CIF], ids=lambda f: f.name)
+    def test_paper_formats_fit_the_banks(self, fmt):
+        intra = ZBTLayout(fmt, images_in=1)
+        inter = ZBTLayout(fmt, images_in=2)
+        # Deepest intra address: the last pixel of the last same-parity
+        # strip stack.
+        last_y = fmt.height - 1
+        assert intra.input_address(fmt.width - 1, last_y) < BANK_WORDS
+        assert inter.input_address(fmt.width - 1, last_y) < BANK_WORDS
+        # Result bank: two words per pixel.
+        assert intra.result_address(fmt.pixels - 1, 1) < BANK_WORDS
+
+    def test_strip_height_at_least_neighbourhood_span(self):
+        """16-line strips cover the 9-line worst-case input range."""
+        from repro.addresslib import MAX_NEIGHBOURHOOD_LINES
+        assert STRIP_LINES >= MAX_NEIGHBOURHOOD_LINES

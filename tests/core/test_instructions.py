@@ -1,0 +1,43 @@
+"""Micro-instructions: stage/resource mapping, pixel-cycle bundles."""
+
+from repro.core import Instruction, InstructionKind, bundle_for
+
+
+class TestStageMapping:
+    def test_kinds_map_to_their_stages(self):
+        assert InstructionKind.SCAN.stage == 1
+        assert InstructionKind.LOAD.stage == 2
+        assert InstructionKind.SHIFT.stage == 2
+        assert InstructionKind.OP.stage == 3
+        assert InstructionKind.STORE.stage == 4
+
+    def test_every_kind_claims_a_resource(self):
+        resources = {kind: Instruction(kind, 0, (0, 0)).resource
+                     for kind in InstructionKind}
+        assert resources[InstructionKind.LOAD] == \
+            resources[InstructionKind.SHIFT] == "iim_port"
+        assert resources[InstructionKind.OP] == "alu"
+        # Distinct stages use distinct resources (stage 2 shares one).
+        assert len(set(resources.values())) == 4
+
+
+class TestBundles:
+    def test_bundle_has_one_instruction_per_stage(self):
+        """'In order to generate a result pixel one instruction has to be
+        performed in each one of the stages.'"""
+        bundle = bundle_for(3, (5, 2), row_start=False)
+        assert [ins.stage for ins in bundle] == [1, 2, 3, 4]
+        assert all(ins.pixel_cycle == 3 for ins in bundle)
+        assert all(ins.position == (5, 2) for ins in bundle)
+
+    def test_row_start_uses_load(self):
+        bundle = bundle_for(0, (0, 1), row_start=True)
+        assert bundle[1].kind is InstructionKind.LOAD
+
+    def test_mid_row_uses_shift(self):
+        bundle = bundle_for(1, (1, 1), row_start=False)
+        assert bundle[1].kind is InstructionKind.SHIFT
+
+    def test_str_is_informative(self):
+        text = str(Instruction(InstructionKind.OP, 7, (3, 4)))
+        assert "OP" in text and "7" in text and "(3,4)" in text

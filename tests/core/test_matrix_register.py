@@ -1,0 +1,99 @@
+"""The matrix register: LOAD/SHIFT semantics and reuse accounting."""
+
+import pytest
+
+from repro.addresslib import CON_0, CON_8
+from repro.core import MatrixRegister
+
+
+def full_values(base=0):
+    return {off: (base + i, base + i + 100)
+            for i, off in enumerate(CON_8.offsets)}
+
+
+class TestLoad:
+    def test_load_fills_all_slots(self):
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        assert matrix.filled
+        assert matrix.load_count == 1
+        assert matrix.pixels_fetched == 9
+
+    def test_partial_load_rejected(self):
+        matrix = MatrixRegister(CON_8)
+        with pytest.raises(ValueError):
+            matrix.load({(0, 0): (1, 2)})
+
+    def test_unknown_offset_rejected(self):
+        matrix = MatrixRegister(CON_0)
+        with pytest.raises(KeyError):
+            matrix.load({(5, 5): (1, 2)})
+
+
+class TestShift:
+    def test_shift_reuses_and_adds_fresh(self):
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        before = matrix.snapshot()
+        fresh = {(1, dy): (900 + dy, 901 + dy) for dy in (-1, 0, 1)}
+        matrix.shift((1, 0), fresh)
+        after = matrix.snapshot()
+        # Reused slots moved left by one.
+        for dy in (-1, 0, 1):
+            assert after[(0, dy)] == before[(1, dy)]
+            assert after[(-1, dy)] == before[(0, dy)]
+            assert after[(1, dy)] == fresh[(1, dy)]
+        assert matrix.shift_count == 1
+        assert matrix.pixels_fetched == 9 + 3
+
+    def test_shift_requires_leading_edge(self):
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        with pytest.raises(ValueError):
+            matrix.shift((1, 0), {})  # three slots would stay unfilled
+
+    def test_vertical_shift(self):
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        before = matrix.snapshot()
+        fresh = {(dx, 1): (800 + dx, 801 + dx) for dx in (-1, 0, 1)}
+        matrix.shift((0, 1), fresh)
+        after = matrix.snapshot()
+        for dx in (-1, 0, 1):
+            assert after[(dx, 0)] == before[(dx, 1)]
+
+    def test_reuse_fraction_is_two_thirds_for_con8(self):
+        """The pixel-reuse claim behind the IIM: a raster step refetches
+        only 3 of 9 pixels."""
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        for step in range(5):
+            fresh = {(1, dy): (step, step) for dy in (-1, 0, 1)}
+            matrix.shift((1, 0), fresh)
+        assert matrix.pixels_fetched == 9 + 5 * 3
+
+
+class TestAccess:
+    def test_value_lookup(self):
+        matrix = MatrixRegister(CON_0)
+        matrix.load({(0, 0): (7, 8)})
+        assert matrix.value((0, 0)) == (7, 8)
+
+    def test_empty_slot_raises(self):
+        matrix = MatrixRegister(CON_8)
+        with pytest.raises(KeyError):
+            matrix.value((0, 0))
+
+    def test_snapshot_is_a_copy(self):
+        matrix = MatrixRegister(CON_0)
+        matrix.load({(0, 0): (1, 2)})
+        snap = matrix.snapshot()
+        snap[(0, 0)] = (9, 9)
+        assert matrix.value((0, 0)) == (1, 2)
+
+    def test_reset(self):
+        matrix = MatrixRegister(CON_8)
+        matrix.load(full_values())
+        matrix.reset()
+        assert not matrix.filled
+        assert matrix.load_count == 0

@@ -1,0 +1,76 @@
+"""The OIM: the result-side rate-decoupling FIFO."""
+
+import pytest
+
+from repro.core import OIM_LINES, OutputIntermediateMemory
+
+
+class TestOim:
+    def test_fifo_order(self):
+        oim = OutputIntermediateMemory(width=4, capacity_lines=2)
+        oim.push(0, 10, 20)
+        oim.push(1, 30, 40)
+        assert oim.front() == (0, 10, 20)
+        assert oim.pop() == (0, 10, 20)
+        assert oim.pop() == (1, 30, 40)
+
+    def test_capacity_in_pixels(self):
+        oim = OutputIntermediateMemory(width=4, capacity_lines=2)
+        assert oim.capacity_pixels == 8
+        for i in range(8):
+            oim.push(i, 0, 0)
+        assert oim.full
+
+    def test_overflow_raises(self):
+        oim = OutputIntermediateMemory(width=1, capacity_lines=1)
+        oim.push(0, 0, 0)
+        with pytest.raises(RuntimeError):
+            oim.push(1, 0, 0)
+
+    def test_underflow_raises(self):
+        oim = OutputIntermediateMemory(width=1, capacity_lines=1)
+        with pytest.raises(RuntimeError):
+            oim.pop()
+        with pytest.raises(RuntimeError):
+            oim.front()
+
+    def test_empty_full_signals(self):
+        oim = OutputIntermediateMemory(width=2, capacity_lines=1)
+        assert oim.empty and not oim.full
+        oim.push(0, 1, 2)
+        assert not oim.empty
+        oim.push(1, 3, 4)
+        assert oim.full
+        oim.pop()
+        assert not oim.full
+
+    def test_peak_occupancy_tracked(self):
+        oim = OutputIntermediateMemory(width=4, capacity_lines=1)
+        oim.push(0, 0, 0)
+        oim.push(1, 0, 0)
+        oim.pop()
+        oim.push(2, 0, 0)
+        assert oim.peak_occupancy == 2
+
+    def test_words_masked(self):
+        oim = OutputIntermediateMemory(width=1, capacity_lines=1)
+        oim.push(0, 0x1_0000_0001, 0x2_0000_0002)
+        assert oim.pop() == (0, 1, 2)
+
+    def test_mirrors_iim_structure(self):
+        """'The OIM has exactly the same structure as the IIM': 16 lines,
+        two banks per line."""
+        oim = OutputIntermediateMemory(width=8, capacity_lines=OIM_LINES)
+        assert oim.memory_blocks == 32
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            OutputIntermediateMemory(width=0, capacity_lines=1)
+        with pytest.raises(ValueError):
+            OutputIntermediateMemory(width=1, capacity_lines=0)
+
+    def test_reset(self):
+        oim = OutputIntermediateMemory(width=2, capacity_lines=1)
+        oim.push(0, 1, 1)
+        oim.reset()
+        assert oim.empty and oim.peak_occupancy == 0

@@ -1,0 +1,121 @@
+"""The PCI/DMA model: rates, job sequencing, stalls, interrupts."""
+
+import pytest
+
+from repro.core import (DMAJob, PCIBus, PCI_CLOCK_HZ,
+                        PCI_PEAK_BYTES_PER_SECOND, PCI_WORD_BITS)
+
+
+def counting_job(label, total, to_board=True, gate=None):
+    moved = []
+
+    def transfer(index):
+        if gate is not None and not gate(index):
+            return False
+        moved.append(index)
+        return True
+
+    return DMAJob(label=label, total_words=total,
+                  transfer_word=transfer, to_board=to_board), moved
+
+
+class TestRates:
+    def test_paper_bandwidth_figures(self):
+        """66 MHz x 32 bits = 264 MB/s (the section 4.1 figure)."""
+        assert PCI_CLOCK_HZ == 66_000_000
+        assert PCI_WORD_BITS == 32
+        assert PCI_PEAK_BYTES_PER_SECOND == 264_000_000
+
+    def test_one_word_per_cycle(self):
+        bus = PCIBus(job_overhead_cycles=0)
+        job, moved = counting_job("j", 10)
+        bus.enqueue(job)
+        for cycle in range(10):
+            bus.tick(cycle)
+        assert moved == list(range(10))
+        assert bus.busy_cycles == 10
+
+
+class TestJobSequencing:
+    def test_jobs_run_in_order(self):
+        bus = PCIBus(job_overhead_cycles=0)
+        ja, moved_a = counting_job("a", 3)
+        jb, moved_b = counting_job("b", 3)
+        bus.enqueue(ja)
+        bus.enqueue(jb)
+        for cycle in range(6):
+            bus.tick(cycle)
+        assert len(moved_a) == 3 and len(moved_b) == 3
+        assert ja.complete and jb.complete
+
+    def test_overhead_cycles_precede_payload(self):
+        bus = PCIBus(job_overhead_cycles=4)
+        job, moved = counting_job("j", 2)
+        bus.enqueue(job)
+        for cycle in range(4):
+            bus.tick(cycle)
+        assert moved == []
+        bus.tick(4)
+        bus.tick(5)
+        assert len(moved) == 2
+        assert bus.overhead_cycles == 4
+
+    def test_idle_when_no_jobs(self):
+        bus = PCIBus()
+        assert bus.tick(0) is None
+        assert bus.idle_cycles == 1
+        assert bus.idle
+
+    def test_pending_jobs_and_idle(self):
+        bus = PCIBus(job_overhead_cycles=0)
+        job, _ = counting_job("j", 1)
+        bus.enqueue(job)
+        assert not bus.idle
+        assert bus.pending_jobs == 1
+        bus.tick(0)
+        assert bus.idle
+
+
+class TestStalls:
+    def test_unready_word_stalls_without_progress(self):
+        ready = {"ok": False}
+        bus = PCIBus(job_overhead_cycles=0)
+        job, moved = counting_job("j", 1, gate=lambda i: ready["ok"])
+        bus.enqueue(job)
+        bus.tick(0)
+        assert moved == [] and bus.stall_cycles == 1
+        ready["ok"] = True
+        bus.tick(1)
+        assert moved == [0]
+
+    def test_utilization(self):
+        bus = PCIBus(job_overhead_cycles=2)
+        job, _ = counting_job("j", 2)
+        bus.enqueue(job)
+        for cycle in range(4):
+            bus.tick(cycle)
+        assert bus.utilization() == pytest.approx(0.5)
+
+
+class TestInterruptsAndStats:
+    def test_completion_interrupt_raised(self):
+        bus = PCIBus(job_overhead_cycles=0)
+        job, _ = counting_job("strip0", 2)
+        bus.enqueue(job)
+        bus.tick(0)
+        assert bus.interrupts == []
+        bus.tick(1)
+        assert [i.name for i in bus.interrupts] == ["dma_done:strip0"]
+        assert bus.interrupts[0].cycle == 1
+
+    def test_direction_word_counters(self):
+        bus = PCIBus(job_overhead_cycles=0)
+        jin, _ = counting_job("in", 3, to_board=True)
+        jout, _ = counting_job("out", 2, to_board=False)
+        bus.enqueue(jin)
+        bus.enqueue(jout)
+        for cycle in range(5):
+            bus.tick(cycle)
+        assert bus.words_to_board == 3
+        assert bus.words_to_host == 2
+        assert bus.total_bytes == 20

@@ -1,0 +1,137 @@
+"""The pixel level controller: pipeline overlap, stalls, the arbiter."""
+
+import pytest
+
+from repro.addresslib import INTRA_COPY, INTRA_GRAD
+from repro.core import (Arbiter, ArbiterConflict, IIM_LINES,
+                        InputIntermediateMemory, OutputIntermediateMemory,
+                        PixelLevelController, ProcessUnit, intra_config)
+from repro.image import ImageFormat, noise_frame
+
+FMT = ImageFormat("T6x4", 6, 4)
+
+
+def make_plc(op=INTRA_COPY, fmt=FMT, preload_lines=None, oim_lines=4):
+    """A PLC over a hand-fed IIM (no TxU/DMA in the loop)."""
+    config = intra_config(op, fmt)
+    iim = InputIntermediateMemory(fmt.width, IIM_LINES, images=1)
+    oim = OutputIntermediateMemory(fmt.width, oim_lines)
+    pu = ProcessUnit(config, iim, oim)
+    plc = PixelLevelController(pu)
+    frame = noise_frame(fmt, seed=55)
+    lower, upper = frame.to_words()
+    lines = fmt.height if preload_lines is None else preload_lines
+    for y in range(lines):
+        for x in range(fmt.width):
+            iim.fifo(0).push_pixel(int(lower[y, x]), int(upper[y, x]))
+    return plc, iim, oim
+
+
+class TestArbiter:
+    def test_conflicting_claim_raises(self):
+        arbiter = Arbiter()
+        arbiter.begin_cycle()
+        arbiter.claim("alu", "OP#0")
+        with pytest.raises(ArbiterConflict):
+            arbiter.claim("alu", "OP#1")
+
+    def test_claims_reset_per_cycle(self):
+        arbiter = Arbiter()
+        arbiter.begin_cycle()
+        arbiter.claim("alu", "OP#0")
+        arbiter.begin_cycle()
+        arbiter.claim("alu", "OP#1")
+        assert arbiter.total_claims == 2
+
+
+class TestPipelineOverlap:
+    def test_startpipeline_fills_all_stages(self):
+        """'Instructions of different pixel-cycles in the different
+        stages of the Process Unit' -- steady state has every stage busy."""
+        plc, _, _ = make_plc()
+        for _ in range(4):
+            plc.tick()
+        assert plc.stage_occupancy() == (True, True, True, True)
+
+    def test_one_pixel_cycle_per_tick_steady_state(self):
+        plc, _, _ = make_plc()
+        total_ticks = 0
+        while not plc.done:
+            plc.tick()
+            total_ticks += 1
+            assert total_ticks < 1000
+        # 4-stage fill + one retire per tick afterwards.
+        assert total_ticks == pytest.approx(FMT.pixels + 4, abs=3)
+
+    def test_multi_cycle_op_throttles_issue(self):
+        fast, _, _ = make_plc(INTRA_COPY)
+        slow, _, _ = make_plc(INTRA_GRAD)   # engine_cycles == 3
+        for plc in (fast, slow):
+            while not plc.done:
+                plc.tick()
+        assert slow.stats.cycles > fast.stats.cycles
+        assert slow.stats.stall_op_busy > 0
+
+    def test_loads_at_row_starts_shifts_elsewhere(self):
+        plc, _, _ = make_plc(INTRA_GRAD)
+        while not plc.done:
+            plc.tick()
+        assert plc.stats.loads == FMT.height
+        assert plc.stats.shifts == FMT.pixels - FMT.height
+
+
+class TestStalls:
+    def test_missing_iim_lines_stall_stage2(self):
+        plc, iim, _ = make_plc(INTRA_GRAD, preload_lines=1)
+        for _ in range(20):
+            plc.tick()
+        # Row 0 of a 3x3 neighbourhood needs line 1: not resident yet.
+        assert plc.stats.stall_iim_wait > 0
+        assert plc.stats.retired_pixel_cycles == 0
+
+    def test_stalled_stage2_resumes_when_line_arrives(self):
+        plc, iim, _ = make_plc(INTRA_GRAD, preload_lines=1)
+        for _ in range(10):
+            plc.tick()
+        frame = noise_frame(FMT, seed=55)
+        lower, upper = frame.to_words()
+        for y in (1, 2, 3):
+            for x in range(FMT.width):
+                iim.fifo(0).push_pixel(int(lower[y, x]), int(upper[y, x]))
+        while not plc.done:
+            plc.tick()
+        assert plc.stats.retired_pixel_cycles == FMT.pixels
+
+    def test_full_oim_backpressures(self):
+        plc, _, oim = make_plc(INTRA_COPY, oim_lines=1)
+        # OIM capacity = 6 pixels; nothing drains it here.
+        for _ in range(60):
+            if plc.done:
+                break
+            plc.tick()
+        assert oim.full
+        assert plc.stats.stall_oim_full > 0
+        assert plc.stats.retired_pixel_cycles == oim.capacity_pixels
+
+    def test_disable_holds_new_pixel_cycles(self):
+        plc, _, _ = make_plc()
+        plc.enabled = False
+        for _ in range(5):
+            plc.tick()
+        assert plc.stats.issued_pixel_cycles == 0
+        assert plc.stats.stall_disabled == 5
+        plc.enabled = True
+        plc.tick()
+        assert plc.stats.issued_pixel_cycles == 1
+
+    def test_disable_drains_in_flight_work(self):
+        """Disabling stops *new* pixel-cycles; in-flight ones finish --
+        'will not proceed with any more pixel-cycles'."""
+        plc, _, _ = make_plc()
+        for _ in range(3):
+            plc.tick()
+        issued = plc.stats.issued_pixel_cycles
+        plc.enabled = False
+        for _ in range(10):
+            plc.tick()
+        assert plc.stats.retired_pixel_cycles >= issued - 1

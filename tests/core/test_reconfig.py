@@ -1,0 +1,75 @@
+"""Dynamic partial reconfiguration of the pixel-processing block."""
+
+import pytest
+
+from repro.addresslib import INTRA_BOX3, INTRA_GRAD, INTRA_MEDIAN3
+from repro.core import (ReconfigurableEngine, ReconfigurationModel,
+                        intra_config)
+from repro.image import ImageFormat, noise_frame
+
+FMT = ImageFormat("RC", 48, 48)
+
+
+class TestReconfigurationModel:
+    def test_partial_much_faster_than_full(self):
+        model = ReconfigurationModel()
+        assert model.partial_seconds < model.full_seconds
+        assert model.speedup == pytest.approx(1 / 0.015, rel=0.01)
+
+    def test_times_scale_with_bitstream(self):
+        model = ReconfigurationModel(partial_bitstream_bytes=1000,
+                                     config_bandwidth=1000)
+        assert model.partial_seconds == 1.0
+
+
+class TestReconfigurableEngine:
+    def test_no_reconfig_for_repeated_op(self):
+        engine = ReconfigurableEngine()
+        schedule = [(intra_config(INTRA_GRAD, FMT),)] * 5
+        report = engine.run_schedule(schedule)
+        assert report.reconfigurations == 0
+        assert report.reconfig_seconds == 0.0
+        assert report.calls == 5
+
+    def test_reconfig_on_op_change(self):
+        engine = ReconfigurableEngine()
+        schedule = [(intra_config(INTRA_GRAD, FMT),),
+                    (intra_config(INTRA_BOX3, FMT),),
+                    (intra_config(INTRA_GRAD, FMT),)]
+        report = engine.run_schedule(schedule)
+        assert report.reconfigurations == 2
+        assert report.per_op_calls == {"intra_grad": 2, "intra_box3": 1}
+
+    def test_dynamic_beats_static_on_alternating_ops(self):
+        """The outlook's point: with partial reconfiguration, operation
+        switches stop dominating the runtime."""
+        ops = [INTRA_GRAD, INTRA_BOX3, INTRA_MEDIAN3]
+        schedule = [(intra_config(ops[i % 3], FMT),) for i in range(12)]
+        dynamic = ReconfigurableEngine(dynamic=True).run_schedule(schedule)
+        static = ReconfigurableEngine(dynamic=False).run_schedule(schedule)
+        assert dynamic.call_seconds == pytest.approx(static.call_seconds)
+        assert dynamic.reconfig_seconds < 0.05 * static.reconfig_seconds
+        assert dynamic.reconfig_fraction < static.reconfig_fraction
+
+    def test_first_op_load_is_free(self):
+        """The initial configuration happens at board bring-up, not per
+        schedule."""
+        engine = ReconfigurableEngine()
+        engine.run_schedule([(intra_config(INTRA_GRAD, FMT),)])
+        assert engine.reconfigurations == 0
+
+    def test_cycle_model_path(self):
+        frame = noise_frame(FMT, seed=1)
+        engine = ReconfigurableEngine()
+        report = engine.run_schedule(
+            [(intra_config(INTRA_GRAD, FMT), frame)], use_cycle_model=True)
+        assert report.call_seconds > 0
+
+    def test_run_call_passthrough(self):
+        frame = noise_frame(FMT, seed=2)
+        engine = ReconfigurableEngine()
+        run = engine.run_call(intra_config(INTRA_GRAD, FMT), frame)
+        assert run.frame is not None
+        run2 = engine.run_call(intra_config(INTRA_BOX3, FMT), frame)
+        assert engine.reconfigurations == 1
+        assert run2.frame is not None

@@ -1,0 +1,90 @@
+"""The Table 1 resource/timing estimator."""
+
+import pytest
+
+from repro.core import (XC2V3000, iim_brams, oim_brams, total_resources,
+                        v1_module_inventory, v1_utilization_report)
+from repro.core.resources import (CONTROL_STORE_BRAMS, DMA_FIFO_BRAMS,
+                                  TimingModel)
+
+PAPER = {"slices": 564, "flip_flops": 216, "luts": 349,
+         "iobs": 60, "brams": 29, "gclks": 1}
+
+
+class TestTotals:
+    def test_totals_match_table1(self):
+        totals = total_resources(v1_module_inventory())
+        assert totals.slices == PAPER["slices"]
+        assert totals.flip_flops == PAPER["flip_flops"]
+        assert totals.luts == PAPER["luts"]
+        assert totals.iobs == PAPER["iobs"]
+        assert totals.brams == PAPER["brams"]
+        assert totals.gclks == PAPER["gclks"]
+
+    def test_bram_budget_decomposition(self):
+        """29 = IIM line stores + OIM + DMA FIFOs + control store."""
+        assert (iim_brams() + oim_brams() + DMA_FIFO_BRAMS
+                + CONTROL_STORE_BRAMS) == PAPER["brams"]
+
+    def test_memories_dominate_brams(self):
+        """'The high amount of block RAM used ... is due to the IIM and
+        OIM memories.'"""
+        assert iim_brams() + oim_brams() > PAPER["brams"] / 2
+
+    def test_inventory_covers_architecture_blocks(self):
+        names = {m.name for m in v1_module_inventory()}
+        for expected in ("pci_interface", "image_level_controller",
+                         "input_txu", "output_txu", "iim_line_stores",
+                         "oim_line_stores", "plc_control_fsm",
+                         "plc_instruction_fsm", "plc_arbiter",
+                         "plc_startpipeline", "pu_stage1_scan_counters",
+                         "pu_stage3_alu"):
+            assert expected in names
+
+
+class TestUtilization:
+    def test_device_is_the_paper_part(self):
+        assert XC2V3000.name == "2v3000ff1152-5"
+        assert XC2V3000.brams == 96
+        assert XC2V3000.slices == 14336
+
+    def test_percentages_match_table1_truncation(self):
+        report = v1_utilization_report()
+        rendered = report.render()
+        # Exact strings from the paper's device utilisation summary.
+        assert "564 out of  14336" in rendered
+        assert "216 out of  28672" in rendered
+        assert "349 out of  28672" in rendered
+        assert "60 out of    720" in rendered
+        assert "29 out of     96" in rendered
+        assert "30%" in rendered   # BRAMs: the dominant resource
+        assert "3%" in rendered    # slices: truncated like ISE prints it
+
+    def test_logic_footprint_tiny(self):
+        """The design uses <= 4 % of the device's logic -- plenty of room
+        'for a possible extension of the design with other addressing
+        schemes'."""
+        percent = v1_utilization_report().utilization_percent()
+        assert percent["slices"] < 4.0
+        assert percent["luts"] < 2.0
+        assert percent["brams"] > 25.0
+
+    def test_rows_structure(self):
+        rows = v1_utilization_report().rows()
+        assert len(rows) == 6
+        assert rows[0][1] == PAPER["slices"]
+
+
+class TestTiming:
+    def test_min_period_matches_table1(self):
+        timing = TimingModel()
+        assert timing.min_period_ns == pytest.approx(9.784, abs=1e-3)
+
+    def test_max_frequency_matches_table1(self):
+        timing = TimingModel()
+        assert timing.max_frequency_mhz == pytest.approx(102.208, abs=0.01)
+
+    def test_design_clears_the_66mhz_bus_clock(self):
+        """Section 4.1: the PCI bus (66 MHz) is the bottleneck; the FPGA
+        fabric has headroom."""
+        assert TimingModel().max_frequency_mhz > 66.0

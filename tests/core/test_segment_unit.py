@@ -1,0 +1,141 @@
+"""The v2 segment-addressing unit (the paper's announced next step)."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import CON_4, SegmentProcessor, luma_delta_criterion
+from repro.core import (QUEUE_CAPACITY, SegmentCallConfig, SegmentUnit,
+                        V2_CONNECTIVITY, v2_utilization_report)
+from repro.image import ImageFormat, Frame, blob_frame
+
+FMT = ImageFormat("SU32", 32, 32)
+
+
+def square_frame():
+    frame = Frame(FMT)
+    frame.y[:] = 20
+    frame.y[8:20, 8:20] = 180
+    return frame
+
+
+class TestSemantics:
+    def test_matches_software_segment_processor(self):
+        """The hardware unit and the software scheme implement the same
+        expansion -- identical labels and geodesic distances."""
+        frame = square_frame()
+        seeds = [(12, 12), (2, 2)]
+        software = SegmentProcessor(CON_4).expand(
+            frame, seeds, luma_delta_criterion(15))
+        unit = SegmentUnit()
+        run = unit.run_call(SegmentCallConfig(FMT, luma_delta=15),
+                            frame, seeds)
+        assert np.array_equal(run.labels, software.labels)
+        assert np.array_equal(run.distance, software.distance)
+        assert run.pixels_processed == software.pixels_processed
+
+    def test_connectivity_matches_con4_order(self):
+        """Same neighbour visiting order as the software CON_4 path, so
+        tie-breaking between competing seeds is identical."""
+        expected = tuple(off for off in CON_4.offsets if off != (0, 0))
+        assert V2_CONNECTIVITY == expected
+
+    def test_max_pixels_cap(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        run = SegmentUnit().run_call(
+            SegmentCallConfig(FMT, luma_delta=5), frame, [(16, 16)],
+            max_pixels=40)
+        assert run.pixels_processed == 40
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            SegmentUnit().run_call(SegmentCallConfig(FMT, luma_delta=5),
+                                   Frame(FMT), [(99, 0)])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SegmentCallConfig(FMT, luma_delta=300)
+
+    def test_frame_format_check(self):
+        other = Frame(ImageFormat("SUo", 8, 8))
+        with pytest.raises(ValueError):
+            SegmentUnit().run_call(SegmentCallConfig(FMT, luma_delta=5),
+                                   other, [(0, 0)])
+
+
+class TestAccounting:
+    def test_interior_pixel_costs_four_cycles(self):
+        """pop+centre (1) + 4 neighbours at 2/cycle (2) + label (1)."""
+        frame = square_frame()
+        run = SegmentUnit().run_call(
+            SegmentCallConfig(FMT, luma_delta=15), frame, [(12, 12)])
+        # The 12x12 square has mostly interior pixels.
+        assert run.cycles_per_processed_pixel == pytest.approx(4.0,
+                                                               abs=0.1)
+
+    def test_resident_frame_skips_input_dma(self):
+        frame = square_frame()
+        unit = SegmentUnit()
+        cold = unit.run_call(SegmentCallConfig(FMT, luma_delta=15),
+                             frame, [(12, 12)])
+        warm = unit.run_call(
+            SegmentCallConfig(FMT, luma_delta=15, frame_resident=True),
+            frame, [(12, 12)])
+        assert cold.input_cycles == 2 * FMT.pixels
+        assert warm.input_cycles == 0
+        assert warm.total_cycles < cold.total_cycles
+
+    def test_queue_peak_tracked(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        run = SegmentUnit().run_call(
+            SegmentCallConfig(FMT, luma_delta=5), frame, [(16, 16)])
+        assert 0 < run.queue_peak < QUEUE_CAPACITY
+
+    def test_closed_form_estimate_tracks_measurement(self):
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        config = SegmentCallConfig(FMT, luma_delta=5)
+        run = SegmentUnit().run_call(config, frame, [(16, 16)])
+        estimate = SegmentUnit().call_cycles_estimate(
+            config, run.pixels_processed)
+        assert estimate == pytest.approx(run.total_cycles, rel=0.05)
+
+
+class TestV2Resources:
+    def test_extension_fits_the_device(self):
+        """'There is enough free memory for a possible extension of the
+        design with other addressing schemes.'"""
+        report = v2_utilization_report()
+        totals = report.totals
+        assert totals.brams == 32          # +3 over the v1 29
+        assert totals.brams <= report.device.brams
+        assert totals.slices < 0.06 * report.device.slices
+
+    def test_v2_adds_the_segment_blocks(self):
+        names = {m.name for m in v2_utilization_report().modules}
+        assert "seg_work_queue" in names
+        assert "seg_criteria_unit" in names
+
+
+class TestQueueCapacity:
+    def test_overflow_raises(self):
+        from repro.core import QueueOverflow
+        frame = Frame(FMT)
+        frame.y[:] = 100
+        tiny = SegmentUnit(queue_capacity=4)
+        with pytest.raises(QueueOverflow):
+            tiny.run_call(SegmentCallConfig(FMT, luma_delta=5),
+                          frame, [(16, 16)])
+
+    def test_cif_flood_fits_the_default_queue(self):
+        """A whole-CIF flood's front scales with the perimeter and stays
+        far under the 2k-entry BRAM queue."""
+        from repro.image import CIF
+        frame = Frame(CIF)
+        frame.y[:] = 100
+        run = SegmentUnit().run_call(
+            SegmentCallConfig(CIF, luma_delta=5), frame,
+            [(CIF.width // 2, CIF.height // 2)])
+        assert run.pixels_processed == CIF.pixels
+        assert run.queue_peak < QUEUE_CAPACITY

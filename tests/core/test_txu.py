@@ -1,0 +1,154 @@
+"""Transmission units: ZBT <-> IIM/OIM line movement and arbitration."""
+
+import pytest
+
+from repro.core import (IIM_LINES, InputIntermediateMemory,
+                        InputTransmissionUnit, OutputIntermediateMemory,
+                        OutputTransmissionUnit, RESULT_BANKS, ZBTLayout,
+                        ZBTMemory)
+from repro.image import ImageFormat, STRIP_LINES, noise_frame
+
+FMT = ImageFormat("T4x32", 4, 32)
+
+
+def loaded_zbt(frame, layout):
+    """A ZBT pre-loaded with the frame's words (uncounted pokes)."""
+    zbt = ZBTMemory()
+    lower, upper = frame.to_words()
+    for y in range(frame.height):
+        banks = layout.input_banks(0, y // STRIP_LINES)
+        for x in range(frame.width):
+            address = layout.input_address(x, y)
+            zbt.poke(banks[0], address, int(lower[y, x]))
+            zbt.poke(banks[1], address, int(upper[y, x]))
+    return zbt
+
+
+class TestInputTxu:
+    def setup_method(self):
+        self.layout = ZBTLayout(FMT, images_in=1)
+        self.frame = noise_frame(FMT, seed=77)
+        self.zbt = loaded_zbt(self.frame, self.layout)
+        self.iim = InputIntermediateMemory(FMT.width, IIM_LINES, 1)
+        self.txu = InputTransmissionUnit(self.zbt, self.layout, 0,
+                                         self.iim.fifo(0))
+
+    def tick_n(self, n):
+        for _ in range(n):
+            self.zbt.begin_cycle()
+            self.txu.tick()
+
+    def test_waits_for_strip_availability(self):
+        self.tick_n(5)
+        assert self.txu.pixels_moved == 0
+        assert self.txu.stall_no_strip == 5
+
+    def test_streams_one_pixel_per_cycle(self):
+        self.txu.strips_available = 1
+        self.tick_n(FMT.width)
+        assert self.txu.pixels_moved == FMT.width
+        assert self.iim.fifo(0).resident_lines == [0]
+
+    def test_delivered_pixels_match_frame(self):
+        self.txu.strips_available = 2
+        self.tick_n(FMT.width * 2)
+        lower, upper = self.frame.to_words()
+        for x in range(FMT.width):
+            assert self.iim.fifo(0).read_pixel(x, 1) == \
+                (int(lower[1, x]), int(upper[1, x]))
+
+    def test_stops_at_strip_boundary(self):
+        self.txu.strips_available = 1
+        self.tick_n(FMT.width * STRIP_LINES + 10)
+        assert self.txu.pixels_moved == FMT.width * STRIP_LINES
+        assert self.txu.stall_no_strip == 10
+
+    def test_counts_one_pixel_op_per_pixel(self):
+        self.txu.strips_available = 2
+        self.tick_n(30)
+        assert self.zbt.pixel_ops == 30
+        assert self.zbt.word_accesses == 60  # two sibling banks
+
+    def test_stalls_when_iim_full(self):
+        self.txu.strips_available = 2
+        self.tick_n(FMT.width * IIM_LINES)  # fill all 16 line stores
+        assert self.iim.full
+        self.tick_n(1)
+        assert self.txu.stall_iim_full == 1
+
+    def test_yields_bank_ports(self):
+        self.txu.strips_available = 1
+        self.zbt.begin_cycle()
+        # A higher-priority client saturates one sibling bank first.
+        self.zbt.write(0, 0, 1)
+        self.zbt.write(0, 1, 1)
+        assert not self.txu.tick()
+        assert self.txu.stall_bank_busy == 1
+
+    def test_done_after_whole_frame(self):
+        self.txu.strips_available = FMT.strips
+        self.tick_n(FMT.pixels // 2 + 5)
+        # IIM holds 16 of 32 lines; release as a consumer would.
+        self.iim.fifo(0).release_through(15)
+        self.tick_n(FMT.pixels)
+        assert self.txu.done
+        assert self.txu.pixels_moved == FMT.pixels
+
+
+class TestOutputTxu:
+    def setup_method(self):
+        self.layout = ZBTLayout(FMT, images_in=1)
+        self.zbt = ZBTMemory()
+        self.oim = OutputIntermediateMemory(FMT.width, 4)
+        self.txu = OutputTransmissionUnit(self.zbt, self.layout, self.oim)
+
+    def tick(self):
+        self.zbt.begin_cycle()
+        return self.txu.tick()
+
+    def test_writes_pixel_words_sequentially_same_bank(self):
+        self.oim.push(0, 0xAAAA, 0xBBBB)
+        assert self.tick()
+        bank = RESULT_BANKS[0]
+        assert self.zbt.peek(bank, 0) == 0xAAAA
+        assert self.zbt.peek(bank, 1) == 0xBBBB
+        assert self.txu.words_written == 2
+        assert self.txu.pixels_written == 1
+
+    def test_one_pixel_per_cycle(self):
+        for i in range(3):
+            self.oim.push(i, i, i)
+        assert self.tick() and self.tick() and self.tick()
+        assert self.txu.pixels_written == 3
+        assert self.zbt.peek(RESULT_BANKS[0], 4) == 2
+
+    def test_stalls_on_empty_oim(self):
+        assert not self.tick()
+        assert self.txu.stall_oim_empty == 1
+
+    def test_bank_switch_redirects_new_pixels(self):
+        self.oim.push(0, 1, 2)
+        self.tick()
+        self.txu.switch_result_bank()
+        self.oim.push(1, 3, 4)
+        self.tick()
+        assert self.zbt.peek(RESULT_BANKS[0], 0) == 1
+        assert self.zbt.peek(RESULT_BANKS[1], 0) == 3
+        assert self.txu.bank_words == [2, 2]
+
+    def test_switch_only_once(self):
+        self.txu.switch_result_bank()
+        with pytest.raises(RuntimeError):
+            self.txu.switch_result_bank()
+
+    def test_yields_when_bank_port_busy(self):
+        self.oim.push(0, 1, 2)
+        self.zbt.begin_cycle()
+        self.zbt.read(RESULT_BANKS[0], 0)  # readback DMA holds one port
+        assert not self.txu.tick()         # needs two ports for a pixel
+        assert self.txu.stall_bank_busy == 1
+
+    def test_counts_one_pixel_op_per_pixel(self):
+        self.oim.push(0, 1, 2)
+        self.tick()
+        assert self.zbt.pixel_ops == 1

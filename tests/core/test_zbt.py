@@ -1,0 +1,176 @@
+"""ZBT memory: bank ports, conflict budgets, the Figure 3 address map."""
+
+import pytest
+
+from repro.core import (BANK_COUNT, BANK_WORDS, BankPortConflict,
+                        IMAGE0_BANKS, IMAGE1_BANKS, RESULT_BANKS,
+                        ZBTLayout, ZBTMemory)
+from repro.core.zbt import BANK_PORT_OPS_PER_CYCLE
+from repro.image import CIF, ImageFormat, STRIP_LINES
+
+FMT = ImageFormat("T8x48", 8, 48)
+
+
+class TestBankGeometry:
+    def test_six_banks_of_one_megabyte(self):
+        """'6 Mbytes ... made up of 6 independent banks'."""
+        assert BANK_COUNT == 6
+        assert BANK_WORDS * 4 * BANK_COUNT == 6 * 1024 * 1024
+
+    def test_bank_roles_are_disjoint(self):
+        assert not set(IMAGE0_BANKS) & set(IMAGE1_BANKS)
+        assert not set(RESULT_BANKS) & set(IMAGE0_BANKS + IMAGE1_BANKS)
+
+
+class TestPortAccounting:
+    def test_word_roundtrip(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        zbt.write(0, 100, 0xDEADBEEF)
+        zbt.begin_cycle()
+        assert zbt.read(0, 100) == 0xDEADBEEF
+
+    def test_values_masked_to_32_bits(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        zbt.write(1, 0, 0x1FFFFFFFF)
+        zbt.begin_cycle()
+        assert zbt.read(1, 0) == 0xFFFFFFFF
+
+    def test_port_budget_per_cycle(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        for _ in range(BANK_PORT_OPS_PER_CYCLE):
+            zbt.write(2, 0, 1)
+        with pytest.raises(BankPortConflict):
+            zbt.write(2, 1, 1)
+
+    def test_budget_resets_each_cycle(self):
+        zbt = ZBTMemory()
+        for _ in range(5):
+            zbt.begin_cycle()
+            zbt.write(3, 0, 1)
+            zbt.write(3, 1, 1)
+        assert zbt.word_accesses == 10
+
+    def test_bank_free_reflects_budget(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        assert zbt.bank_free(0, ops=2)
+        zbt.write(0, 0, 1)
+        assert zbt.bank_free(0, ops=1)
+        assert not zbt.bank_free(0, ops=2)
+        assert zbt.banks_free([1, 2], ops=2)
+
+    def test_access_cycles_count_cycles_not_words(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        zbt.write(0, 0, 1)
+        zbt.write(1, 0, 1)  # parallel banks: still one cycle
+        zbt.begin_cycle()   # idle cycle: no access
+        zbt.begin_cycle()
+        zbt.read(0, 0)
+        assert zbt.word_accesses == 3
+        assert zbt.access_cycles == 2
+
+    def test_pixel_ops_counter(self):
+        zbt = ZBTMemory()
+        zbt.count_pixel_op()
+        zbt.count_pixel_op()
+        assert zbt.pixel_ops == 2
+
+    def test_per_bank_stats(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        zbt.write(4, 0, 1)
+        zbt.begin_cycle()
+        zbt.read(4, 0)
+        assert zbt.stats[4].reads == 1
+        assert zbt.stats[4].writes == 1
+        assert zbt.stats[0].total == 0
+
+    def test_bank_index_validation(self):
+        zbt = ZBTMemory()
+        zbt.begin_cycle()
+        with pytest.raises(IndexError):
+            zbt.read(6, 0)
+
+    def test_peek_poke_uncounted(self):
+        zbt = ZBTMemory()
+        zbt.poke(0, 5, 77)
+        assert zbt.peek(0, 5) == 77
+        assert zbt.word_accesses == 0
+
+
+class TestIntraLayout:
+    def test_strips_alternate_bank_pairs(self):
+        """Block A (pair 0/1) and block B (pair 2/3): DMA into one never
+        contends with TxU reads from the other."""
+        layout = ZBTLayout(FMT, images_in=1)
+        assert layout.input_banks(0, 0) == IMAGE0_BANKS
+        assert layout.input_banks(0, 1) == IMAGE1_BANKS
+        assert layout.input_banks(0, 2) == IMAGE0_BANKS
+
+    def test_same_parity_strips_stack_in_address_space(self):
+        layout = ZBTLayout(FMT, images_in=1)
+        # Strip 0 line 0 and strip 2 line 0 share banks, different slots.
+        a = layout.input_address(0, 0)
+        b = layout.input_address(0, 2 * STRIP_LINES)
+        assert b == a + layout.strip_words
+
+    def test_addresses_unique_within_pair(self):
+        layout = ZBTLayout(FMT, images_in=1)
+        seen = set()
+        for y in range(FMT.height):
+            if (y // STRIP_LINES) % 2 != 0:
+                continue  # other pair
+            for x in range(FMT.width):
+                address = layout.input_address(x, y)
+                assert address not in seen
+                seen.add(address)
+
+    def test_intra_layout_rejects_second_image(self):
+        layout = ZBTLayout(FMT, images_in=1)
+        with pytest.raises(IndexError):
+            layout.input_banks(1, 0)
+
+
+class TestInterLayout:
+    def test_each_image_owns_a_pair(self):
+        layout = ZBTLayout(FMT, images_in=2)
+        assert layout.input_banks(0, 0) == IMAGE0_BANKS
+        assert layout.input_banks(0, 5) == IMAGE0_BANKS
+        assert layout.input_banks(1, 0) == IMAGE1_BANKS
+
+    def test_linear_addressing(self):
+        layout = ZBTLayout(FMT, images_in=2)
+        assert layout.input_address(3, 2) == 2 * FMT.width + 3
+
+    def test_cif_image_fits_a_bank(self):
+        layout = ZBTLayout(CIF, images_in=2)
+        last = layout.input_address(CIF.width - 1, CIF.height - 1)
+        assert last < BANK_WORDS
+
+
+class TestResultLayout:
+    def test_result_bank_switch(self):
+        layout = ZBTLayout(FMT)
+        assert layout.result_bank(switch_done=False) == RESULT_BANKS[0]
+        assert layout.result_bank(switch_done=True) == RESULT_BANKS[1]
+
+    def test_result_words_consecutive_same_bank(self):
+        """'The upper and the lower part of each pixel are stored
+        sequentially in the same memory bank'."""
+        layout = ZBTLayout(FMT)
+        assert layout.result_address(0, 0) == 0
+        assert layout.result_address(0, 1) == 1
+        assert layout.result_address(7, 0) == 14
+
+    def test_result_overflow_detected(self):
+        layout = ZBTLayout(FMT)
+        with pytest.raises(IndexError):
+            layout.result_address(BANK_WORDS, 0)
+
+    def test_layout_validates_image_count(self):
+        with pytest.raises(ValueError):
+            ZBTLayout(FMT, images_in=3)

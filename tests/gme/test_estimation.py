@@ -1,0 +1,160 @@
+"""The GME estimator: convergence, call mix, warm starting."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import AddressLib, AddressingMode
+from repro.gme import (AffineModel, GlobalMotionEstimator, GmeSettings,
+                       TranslationalModel, warp_luma)
+from repro.image import CIF, ImageFormat, frame_from_luma, textured_panorama
+
+FMT = ImageFormat("G96", 96, 96)
+
+
+def frame_pair(tx=3.0, ty=-2.0, seed=9, fmt=FMT, model=None):
+    """A reference/current pair with known global motion.
+
+    The current frame's pixel (x, y) samples the scene at
+    ``pose(x, y)`` shifted by the pair motion, so the true current ->
+    reference model is the given translation/affine.
+    """
+    pano = textured_panorama(fmt.width * 3, fmt.height * 3, seed=seed)
+    base = AffineModel(tx=fmt.width, ty=fmt.height)
+    ref_luma, _ = warp_luma(pano, base,
+                            output_shape=(fmt.height, fmt.width))
+    # cur -> ref is ``pair``, so cur's pose is the ref pose after pair:
+    # pose_cur = pose_ref o pair  (matching SyntheticSequence semantics).
+    pair = model or TranslationalModel(tx, ty).to_affine()
+    cur_pose = base.compose(pair)
+    cur_luma, _ = warp_luma(pano, cur_pose,
+                            output_shape=(fmt.height, fmt.width))
+    return frame_from_luma(fmt, ref_luma), frame_from_luma(fmt, cur_luma)
+
+
+def estimate(ref, cur, settings=None, init=None, lib=None):
+    lib = lib or AddressLib()
+    estimator = GlobalMotionEstimator(lib, settings)
+    ref_pyr = estimator.build_pyramid(ref)
+    cur_pyr = estimator.build_pyramid(cur)
+    return estimator.estimate_pair(ref_pyr, cur_pyr, init=init), lib
+
+
+class TestConvergence:
+    def test_recovers_translation(self):
+        ref, cur = frame_pair(tx=3.0, ty=-2.0)
+        estimate_result, _ = estimate(ref, cur)
+        assert estimate_result.model.tx == pytest.approx(3.0, abs=0.15)
+        assert estimate_result.model.ty == pytest.approx(-2.0, abs=0.15)
+
+    def test_recovers_subpixel_translation(self):
+        ref, cur = frame_pair(tx=1.25, ty=0.5)
+        estimate_result, _ = estimate(ref, cur)
+        assert estimate_result.model.tx == pytest.approx(1.25, abs=0.15)
+        assert estimate_result.model.ty == pytest.approx(0.5, abs=0.15)
+
+    def test_recovers_larger_motion_through_pyramid(self):
+        """8-pixel motion exceeds the linearisation range at full
+        resolution; the coarse level brings it in range."""
+        ref, cur = frame_pair(tx=8.0, ty=5.0)
+        estimate_result, _ = estimate(ref, cur)
+        assert estimate_result.model.tx == pytest.approx(8.0, abs=0.3)
+        assert estimate_result.model.ty == pytest.approx(5.0, abs=0.3)
+
+    def test_recovers_mild_zoom_with_affine(self):
+        truth = AffineModel(a=1.02, d=1.02, tx=1.0, ty=0.5)
+        ref, cur = frame_pair(model=truth, seed=13)
+        estimate_result, _ = estimate(ref, cur)
+        assert estimate_result.model.a == pytest.approx(1.02, abs=0.01)
+        assert estimate_result.model.d == pytest.approx(1.02, abs=0.01)
+
+    def test_identity_pair_stays_identity(self):
+        ref, cur = frame_pair(tx=0.0, ty=0.0)
+        estimate_result, _ = estimate(ref, cur)
+        assert abs(estimate_result.model.tx) < 0.05
+        assert abs(estimate_result.model.ty) < 0.05
+
+    def test_sad_decreases_vs_unaligned(self):
+        ref, cur = frame_pair(tx=4.0, ty=0.0)
+        estimate_result, _ = estimate(ref, cur)
+        from repro.gme import sad
+        unaligned = sad(ref.y, cur.y)
+        assert estimate_result.final_sad < 0.35 * unaligned
+
+
+class TestWarmStart:
+    def test_warm_start_cuts_iterations(self):
+        ref, cur = frame_pair(tx=6.0, ty=3.0)
+        cold, _ = estimate(ref, cur)
+        warm, _ = estimate(ref, cur, init=cold.model)
+        assert warm.iterations <= cold.iterations
+        assert warm.model.tx == pytest.approx(6.0, abs=0.3)
+
+
+class TestCallMix:
+    def test_pyramid_build_intra_calls(self):
+        lib = AddressLib()
+        estimator = GlobalMotionEstimator(lib, GmeSettings(levels=3))
+        ref, _ = frame_pair()
+        pyramid = estimator.build_pyramid(ref)
+        assert len(pyramid) == 3
+        assert lib.log.intra_calls == 2  # one box filter per extra level
+        assert pyramid[1].shape == (FMT.height // 2, FMT.width // 2)
+
+    def test_per_pair_call_structure(self):
+        """2 Sobel intra calls per level + 1 mask call; 1 inter (SAD)
+        call per refinement iteration -- the Table 3 call budget."""
+        ref, cur = frame_pair()
+        result, lib = estimate(ref, cur)
+        settings = GmeSettings()
+        expected_intra = (2 * (settings.levels - 1)   # two pyramids
+                          + 2 * settings.levels       # sobel x/y
+                          + 1)                        # blend mask
+        assert lib.log.intra_calls == expected_intra
+        assert lib.log.inter_calls == result.iterations
+        assert all(r.op_name.endswith("+reduce")
+                   for r in lib.log.records
+                   if r.mode is AddressingMode.INTER)
+
+    def test_iteration_cap_respected(self):
+        settings = GmeSettings(max_iterations_per_level=2)
+        ref, cur = frame_pair(tx=5.0, ty=4.0)
+        result, _ = estimate(ref, cur, settings=settings)
+        assert all(n <= 2 for n in result.per_level_iterations)
+
+    def test_blend_mask_shape(self):
+        ref, cur = frame_pair()
+        result, _ = estimate(ref, cur)
+        assert result.blend_mask.shape == (FMT.height, FMT.width)
+        assert result.blend_mask.dtype == bool
+
+
+class TestHostCharging:
+    def test_charge_callback_invoked(self):
+        charges = []
+        lib = AddressLib()
+        estimator = GlobalMotionEstimator(lib, charge=charges.append)
+        ref, cur = frame_pair()
+        ref_pyr = estimator.build_pyramid(ref)
+        cur_pyr = estimator.build_pyramid(cur)
+        estimator.estimate_pair(ref_pyr, cur_pyr)
+        assert sum(charges) > 0
+
+
+class TestRobustness:
+    def test_flat_content_does_not_crash(self):
+        """Zero gradients make the normal equations singular; the
+        estimator must bail out gracefully and return the warm start."""
+        from repro.image import Frame
+        flat = Frame(FMT)
+        flat.y[:] = 128
+        result, _ = estimate(flat, flat)
+        assert result.model.tx == pytest.approx(0.0)
+        assert result.model.ty == pytest.approx(0.0)
+
+    def test_entirely_out_of_frame_motion_does_not_crash(self):
+        """A warm start that throws the warp fully outside the frame
+        leaves no valid pixels; the level must terminate."""
+        ref, cur = frame_pair(tx=1.0, ty=0.0)
+        bad_init = AffineModel(tx=-500.0, ty=-500.0)
+        result, _ = estimate(ref, cur, init=bad_init)
+        assert result.iterations >= 1   # terminated, no exception

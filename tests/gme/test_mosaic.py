@@ -1,0 +1,97 @@
+"""Mosaic compositing from composed global motion."""
+
+import numpy as np
+import pytest
+
+from repro.gme import AffineModel, Mosaic, TranslationalModel, warp_luma
+from repro.image import textured_panorama
+
+
+def scene_and_frames(n=4, step=6.0, fw=48, fh=40, seed=21):
+    """Frames panning across a known scene, with their true poses."""
+    scene = textured_panorama(200, 120, seed=seed)
+    frames = []
+    poses = []
+    for index in range(n):
+        pose = AffineModel(tx=20.0 + step * index, ty=15.0)
+        luma, _ = warp_luma(scene, pose, output_shape=(fh, fw))
+        frames.append(luma)
+        poses.append(pose)
+    return scene, frames, poses
+
+
+class TestAccumulation:
+    def test_single_frame_identity_placement(self):
+        scene, frames, poses = scene_and_frames(n=1)
+        mosaic = Mosaic(width=60, height=50)
+        mosaic.accumulate(frames[0], AffineModel())
+        out = mosaic.composite()
+        assert np.allclose(out[:39, :47], frames[0][:39, :47], atol=1e-6)
+
+    def test_coverage_grows_with_pan(self):
+        scene, frames, poses = scene_and_frames(n=3)
+        mosaic = Mosaic(width=80, height=50)
+        first = poses[0]
+        single_coverage = None
+        for index, frame in enumerate(frames):
+            to_first = first.inverse().compose(poses[index])
+            mosaic.accumulate(frame, to_first)
+            if index == 0:
+                single_coverage = mosaic.coverage
+        assert mosaic.coverage > single_coverage
+        assert mosaic.frames_accumulated == 3
+
+    def test_mosaic_reconstructs_scene(self):
+        """With true poses, the mosaic equals the scene crop: the
+        'Mosaic with the global motion of the scene' of section 4.3."""
+        scene, frames, poses = scene_and_frames(n=4)
+        mosaic = Mosaic(width=90, height=45,
+                        origin=(0.0, 0.0))
+        first = poses[0]
+        for frame, pose in zip(frames, poses):
+            mosaic.accumulate(frame, first.inverse().compose(pose))
+        # Mosaic (x, y) corresponds to scene (x + 20, y + 15).
+        reference, _ = warp_luma(scene, first, output_shape=mosaic.shape)
+        assert mosaic.reconstruction_error(reference) < 1.0
+
+    def test_origin_offsets_placement(self):
+        scene, frames, _ = scene_and_frames(n=1)
+        mosaic = Mosaic(width=80, height=60, origin=(10.0, 5.0))
+        mosaic.accumulate(frames[0], AffineModel())
+        out = mosaic.composite()
+        assert out[5, 10] == pytest.approx(frames[0][0, 0], abs=1e-6)
+        assert (mosaic.composite()[:5, :10] == 0).all()
+
+    def test_blend_mask_excludes_pixels(self):
+        scene, frames, _ = scene_and_frames(n=1)
+        mask = np.zeros(frames[0].shape, dtype=bool)
+        mask[:10, :10] = True
+        mosaic = Mosaic(width=60, height=50)
+        mosaic.accumulate(frames[0], AffineModel(), mask=mask)
+        assert 0 < mosaic.coverage < 0.1
+
+    def test_averaging_blends_overlap(self):
+        mosaic = Mosaic(width=20, height=10)
+        a = np.full((10, 20), 100.0)
+        b = np.full((10, 20), 200.0)
+        mosaic.accumulate(a, AffineModel())
+        mosaic.accumulate(b, AffineModel())
+        out = mosaic.composite()
+        covered = out[out > 0]
+        assert np.allclose(covered, 150.0)
+
+
+class TestValidation:
+    def test_dimensions_checked(self):
+        with pytest.raises(ValueError):
+            Mosaic(width=0, height=10)
+
+    def test_reconstruction_error_empty(self):
+        mosaic = Mosaic(width=10, height=10)
+        assert mosaic.reconstruction_error(np.zeros((10, 10))) == \
+            float("inf")
+
+    def test_composite_background(self):
+        mosaic = Mosaic(width=4, height=4)
+        out = mosaic.composite(background=9.0)
+        assert (out == 9.0).all()

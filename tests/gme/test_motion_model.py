@@ -1,0 +1,210 @@
+"""Parametric motion models: algebra and coordinate semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gme import AffineModel, TranslationalModel, identity_like
+
+finite = st.floats(-50, 50, allow_nan=False)
+small = st.floats(-0.2, 0.2, allow_nan=False)
+
+
+def affine_models():
+    return st.builds(AffineModel,
+                     a=st.floats(0.8, 1.2), b=small, tx=finite,
+                     c=small, d=st.floats(0.8, 1.2), ty=finite)
+
+
+class TestTranslational:
+    def test_apply(self):
+        model = TranslationalModel(2.5, -1.0)
+        xs, ys = model.apply(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert xs.tolist() == [2.5, 3.5]
+        assert ys.tolist() == [-1.0, 0.0]
+
+    @given(a=finite, b=finite, c=finite, d=finite)
+    def test_compose_adds(self, a, b, c, d):
+        m = TranslationalModel(a, b).compose(TranslationalModel(c, d))
+        assert m.tx == pytest.approx(a + c)
+        assert m.ty == pytest.approx(b + d)
+
+    @given(a=finite, b=finite)
+    def test_inverse_cancels(self, a, b):
+        m = TranslationalModel(a, b)
+        identity = m.compose(m.inverse())
+        assert identity.tx == pytest.approx(0)
+        assert identity.ty == pytest.approx(0)
+
+    def test_scaled(self):
+        assert TranslationalModel(4, 2).scaled(0.5) == \
+            TranslationalModel(2, 1)
+
+    def test_to_affine(self):
+        affine = TranslationalModel(3, 4).to_affine()
+        assert (affine.tx, affine.ty) == (3, 4)
+        assert (affine.a, affine.d) == (1.0, 1.0)
+
+
+class TestAffine:
+    def test_identity_is_noop(self):
+        xs = np.array([1.0, 2.0])
+        ys = np.array([3.0, 4.0])
+        ax, ay = AffineModel().apply(xs, ys)
+        assert np.allclose(ax, xs) and np.allclose(ay, ys)
+
+    def test_matrix_roundtrip(self):
+        model = AffineModel(1.1, 0.1, 5, -0.1, 0.9, -3)
+        assert AffineModel.from_matrix(model.matrix) == model
+
+    def test_from_matrix_shape_check(self):
+        with pytest.raises(ValueError):
+            AffineModel.from_matrix(np.eye(2))
+
+    @given(affine_models(), affine_models())
+    @settings(max_examples=30, deadline=None)
+    def test_compose_is_function_composition(self, f, g):
+        xs = np.array([0.0, 3.0, -2.0])
+        ys = np.array([1.0, -1.0, 4.0])
+        gx, gy = g.apply(xs, ys)
+        fx_direct, fy_direct = f.apply(gx, gy)
+        fx, fy = f.compose(g).apply(xs, ys)
+        assert np.allclose(fx, fx_direct, atol=1e-8)
+        assert np.allclose(fy, fy_direct, atol=1e-8)
+
+    @given(affine_models())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_property(self, model):
+        xs = np.array([0.0, 5.0])
+        ys = np.array([2.0, -3.0])
+        mx, my = model.apply(xs, ys)
+        bx, by = model.inverse().apply(mx, my)
+        assert np.allclose(bx, xs, atol=1e-6)
+        assert np.allclose(by, ys, atol=1e-6)
+
+    def test_scaled_moves_translation_only(self):
+        model = AffineModel(1.05, 0.02, 8.0, -0.02, 0.95, -4.0)
+        scaled = model.scaled(0.5)
+        assert scaled.tx == 4.0 and scaled.ty == -2.0
+        assert scaled.a == model.a and scaled.b == model.b
+
+    def test_scaled_commutes_with_coordinate_scaling(self):
+        """model at level L applied to halved coords == halved result of
+        the finest-level model (the pyramid consistency requirement)."""
+        model = AffineModel(1.02, 0.01, 6.0, -0.01, 0.98, 2.0)
+        xs = np.array([10.0, 20.0])
+        ys = np.array([4.0, 8.0])
+        fx, fy = model.apply(xs, ys)
+        cx, cy = model.scaled(0.5).apply(xs / 2, ys / 2)
+        assert np.allclose(cx, fx / 2) and np.allclose(cy, fy / 2)
+
+    def test_with_update(self):
+        model = AffineModel().with_update(
+            np.array([0.1, 0.0, 2.0, 0.0, -0.1, 3.0]))
+        assert model.a == pytest.approx(1.1)
+        assert model.tx == 2.0
+        assert model.d == pytest.approx(0.9)
+
+    def test_translation_property(self):
+        assert AffineModel(tx=7, ty=8).translation == (7, 8)
+
+
+class TestIdentityLike:
+    def test_per_class(self):
+        assert identity_like(TranslationalModel(1, 2)) == \
+            TranslationalModel()
+        assert identity_like(AffineModel(tx=5)) == AffineModel()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            identity_like("not a model")
+
+
+class TestPerspective:
+    def test_identity_is_noop(self):
+        from repro.gme import PerspectiveModel
+        xs = np.array([1.0, 5.0])
+        ys = np.array([2.0, -3.0])
+        px, py = PerspectiveModel().apply(xs, ys)
+        assert np.allclose(px, xs) and np.allclose(py, ys)
+
+    def test_reduces_to_affine_without_perspective_terms(self):
+        from repro.gme import PerspectiveModel
+        affine = AffineModel(1.1, 0.05, 3.0, -0.05, 0.9, -2.0)
+        persp = PerspectiveModel.from_affine(affine)
+        assert persp.is_affine
+        xs = np.array([0.0, 7.0, -4.0])
+        ys = np.array([1.0, -2.0, 5.0])
+        assert np.allclose(persp.apply(xs, ys), affine.apply(xs, ys))
+        assert persp.to_affine() == affine
+
+    def test_perspective_terms_bend_parallels(self):
+        from repro.gme import PerspectiveModel
+        model = PerspectiveModel(px=0.01)
+        xs = np.array([0.0, 10.0])
+        ys = np.array([0.0, 0.0])
+        mx, _ = model.apply(xs, ys)
+        # x = 10 compresses: 10 / (1 + 0.1).
+        assert mx[1] == pytest.approx(10.0 / 1.1)
+
+    def test_compose_matches_function_composition(self):
+        from repro.gme import PerspectiveModel
+        f = PerspectiveModel(a=1.05, tx=2.0, px=0.002)
+        g = PerspectiveModel(d=0.95, ty=-1.0, py=-0.001)
+        xs = np.array([3.0, -2.0, 8.0])
+        ys = np.array([1.0, 4.0, -5.0])
+        gx, gy = g.apply(xs, ys)
+        direct = f.apply(gx, gy)
+        composed = f.compose(g).apply(xs, ys)
+        assert np.allclose(composed[0], direct[0], atol=1e-9)
+        assert np.allclose(composed[1], direct[1], atol=1e-9)
+
+    def test_inverse_cancels(self):
+        from repro.gme import PerspectiveModel
+        model = PerspectiveModel(a=1.1, b=0.02, tx=5.0, c=-0.01,
+                                 d=0.93, ty=2.0, px=0.001, py=-0.002)
+        xs = np.array([2.0, 30.0])
+        ys = np.array([7.0, -11.0])
+        mx, my = model.apply(xs, ys)
+        bx, by = model.inverse().apply(mx, my)
+        assert np.allclose(bx, xs, atol=1e-8)
+        assert np.allclose(by, ys, atol=1e-8)
+
+    def test_matrix_normalisation(self):
+        from repro.gme import PerspectiveModel
+        model = PerspectiveModel(tx=4.0, px=0.003)
+        rebuilt = PerspectiveModel.from_matrix(model.matrix * 2.5)
+        assert rebuilt.tx == pytest.approx(4.0)
+        assert rebuilt.px == pytest.approx(0.003)
+
+    def test_degenerate_matrix_rejected(self):
+        from repro.gme import PerspectiveModel
+        bad = np.eye(3)
+        bad[2, 2] = 0.0
+        with pytest.raises(ValueError):
+            PerspectiveModel.from_matrix(bad)
+
+    def test_scaled_commutes_with_coordinate_scaling(self):
+        from repro.gme import PerspectiveModel
+        model = PerspectiveModel(a=1.02, tx=6.0, px=0.002, py=-0.001)
+        xs = np.array([10.0, 24.0])
+        ys = np.array([4.0, 16.0])
+        fx, fy = model.apply(xs, ys)
+        cx, cy = model.scaled(0.5).apply(xs / 2, ys / 2)
+        assert np.allclose(cx, fx / 2)
+        assert np.allclose(cy, fy / 2)
+
+    def test_warp_accepts_perspective(self):
+        from repro.gme import PerspectiveModel, warp_luma
+        luma = np.tile(np.arange(32.0), (24, 1))
+        warped, valid = warp_luma(luma, PerspectiveModel(px=0.002))
+        assert valid.any()
+        # Column positions compress towards the right: the sampled value
+        # at (x=20, y=0) equals 20 / (1 + 0.04).
+        assert warped[0, 20] == pytest.approx(20.0 / 1.04, abs=1e-6)
+
+    def test_identity_like_perspective(self):
+        from repro.gme import PerspectiveModel, identity_like
+        assert identity_like(PerspectiveModel(px=0.1)) == \
+            PerspectiveModel()

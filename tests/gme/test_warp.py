@@ -1,0 +1,84 @@
+"""Warping and pyramid helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gme import (AffineModel, TranslationalModel, decimate2,
+                       pyramid_shapes, sad, warp_luma)
+
+
+def ramp(height=12, width=16):
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    return xs * 3 + ys * 5
+
+
+class TestWarpLuma:
+    def test_identity_preserves_interior(self):
+        luma = ramp()
+        warped, valid = warp_luma(luma, AffineModel())
+        assert np.allclose(warped[valid], luma[valid])
+        assert valid[:-1, :-1].all()
+
+    def test_integer_translation_shifts(self):
+        luma = ramp()
+        warped, valid = warp_luma(luma, TranslationalModel(2, 1))
+        # Output (x, y) holds input (x+2, y+1).
+        assert warped[0, 0] == luma[1, 2]
+        assert warped[5, 5] == luma[6, 7]
+        height, width = luma.shape
+        assert valid[:height - 2, :width - 3].all()
+        assert not valid[:, width - 2:].any()
+
+    def test_subpixel_translation_interpolates_linear_ramp(self):
+        """A linear ramp is reproduced exactly by bilinear sampling."""
+        luma = ramp()
+        warped, valid = warp_luma(luma, TranslationalModel(0.5, 0.25))
+        expected = luma + 0.5 * 3 + 0.25 * 5
+        assert np.allclose(warped[valid], expected[valid])
+
+    def test_out_of_frame_marked_invalid_and_filled(self):
+        luma = ramp()
+        warped, valid = warp_luma(luma, TranslationalModel(100, 0),
+                                  fill=7.0)
+        assert not valid.any()
+        assert (warped == 7.0).all()
+
+    def test_output_shape_override(self):
+        luma = ramp(20, 30)
+        warped, valid = warp_luma(luma, TranslationalModel(3, 2),
+                                  output_shape=(4, 5))
+        assert warped.shape == (4, 5)
+        assert warped[0, 0] == luma[2, 3]
+
+    def test_affine_zoom(self):
+        luma = ramp()
+        warped, valid = warp_luma(luma, AffineModel(a=2.0, d=2.0))
+        assert warped[2, 3] == pytest.approx(luma[4, 6])
+
+
+class TestPyramidHelpers:
+    def test_decimate2(self):
+        luma = ramp(8, 8)
+        half = decimate2(luma)
+        assert half.shape == (4, 4)
+        assert half[1, 1] == luma[2, 2]
+
+    def test_pyramid_shapes(self):
+        shapes = pyramid_shapes(288, 352, 3)
+        assert shapes == [(288, 352), (144, 176), (72, 88)]
+
+    def test_pyramid_shapes_rounds_up(self):
+        assert pyramid_shapes(9, 9, 2)[1] == (5, 5)
+
+
+class TestSad:
+    def test_zero_on_identical(self):
+        luma = ramp()
+        assert sad(luma, luma) == 0.0
+
+    def test_masked(self):
+        a = np.zeros((4, 4))
+        b = np.ones((4, 4))
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, :2] = True
+        assert sad(a, b, mask) == 2.0

@@ -1,0 +1,104 @@
+"""The XM application shell and the Table 3 dual-platform evaluation."""
+
+import pytest
+
+from repro.gme import (GmeApplication, SINGAPORE, SyntheticSequence,
+                       Table3Row, XmCosts, evaluate_sequence_dual,
+                       xm_cost_model)
+from repro.host import software_platform
+
+
+def short_sequence(frames=6):
+    return SyntheticSequence(SINGAPORE, frames_override=frames)
+
+
+class TestApplicationRun:
+    def test_run_sequence_books(self):
+        runtime = software_platform()
+        app = GmeApplication(runtime)
+        result = app.run_sequence(short_sequence())
+        pairs = result.frames - 1
+        assert result.intra_calls == 2 * result.frames + 7 * pairs
+        assert result.inter_calls == result.total_iterations
+        assert result.call_seconds > 0
+        assert result.high_level_seconds > 0
+        assert len(result.estimates) == pairs
+        assert len(result.global_models) == result.frames
+
+    def test_tracks_ground_truth(self):
+        runtime = software_platform()
+        result = GmeApplication(runtime).run_sequence(short_sequence())
+        assert result.mean_translation_error < 0.25
+
+    def test_global_models_compose(self):
+        """The composed chain equals the sum of pair translations for a
+        linear pan."""
+        runtime = software_platform()
+        seq = short_sequence()
+        result = GmeApplication(runtime).run_sequence(seq)
+        last = result.global_models[-1]
+        truth = 1.9 * (seq.frames - 1)   # Singapore pan speed
+        assert last.tx == pytest.approx(truth, rel=0.05)
+
+    def test_mosaic_built_when_requested(self):
+        runtime = software_platform()
+        app = GmeApplication(runtime, build_mosaic=True,
+                             mosaic_shape=(320, 400))
+        result = app.run_sequence(short_sequence(4))
+        assert result.mosaic is not None
+        assert result.mosaic.frames_accumulated == 4
+        assert result.mosaic.coverage > 0.5
+
+    def test_decode_costs_charged_per_frame(self):
+        costs = XmCosts(decode_instructions_per_frame=1e9,
+                        control_instructions_per_frame=0)
+        runtime = software_platform()
+        result = GmeApplication(runtime, costs=costs).run_sequence(
+            short_sequence(3))
+        # 3 frames x 1e9 instructions at CPI 1.5 on 1.6 GHz.
+        assert result.high_level_seconds > 3 * 1e9 / 1.6e9
+
+
+class TestXmCostModel:
+    def test_per_access_overhead_is_expensive(self):
+        model = xm_cost_model()
+        assert model.per_access_overhead.total > 100
+
+    def test_heavier_than_addresslib_c(self):
+        from repro.addresslib import INTRA_GRAD, SoftwareCostModel
+        from repro.image import CIF
+        xm = xm_cost_model().intra_profile(INTRA_GRAD, CIF)
+        c = SoftwareCostModel().intra_profile(INTRA_GRAD, CIF)
+        assert xm.total_instructions > 10 * c.total_instructions
+
+
+class TestTable3Row:
+    def test_speedup(self):
+        row = Table3Row("x", 10, 10, pm_seconds=100, fpga_seconds=20,
+                        intra_calls=5, inter_calls=3)
+        assert row.speedup == 5.0
+
+    def test_extrapolation_scales_linearly(self):
+        row = Table3Row("x", frames_run=11, frames_full=101,
+                        pm_seconds=10, fpga_seconds=2,
+                        intra_calls=100, inter_calls=70)
+        full = row.extrapolated()
+        assert full.scale_factor == 1.0
+        assert full.pm_seconds == pytest.approx(100.0)
+        assert full.intra_calls == 1000
+        assert full.speedup == pytest.approx(row.speedup)
+
+
+class TestDualEvaluation:
+    def test_dual_run_shape(self):
+        row = evaluate_sequence_dual(SINGAPORE, scale=0.012)
+        assert row.name == "Singapore"
+        assert row.frames_full == SINGAPORE.frames
+        assert row.pm_seconds > row.fpga_seconds  # the headline direction
+        assert row.intra_calls > row.inter_calls
+
+    def test_speedup_in_paper_band(self):
+        """Table 3 reports factors of 4.3-5.3 ('an average factor of 5');
+        the model must land in that neighbourhood."""
+        row = evaluate_sequence_dual(SINGAPORE, scale=0.02)
+        assert 3.0 < row.speedup < 6.5

@@ -1,0 +1,44 @@
+"""The host driver: fast vs simulated submission paths."""
+
+import pytest
+
+from repro.addresslib import INTER_ABSDIFF, INTRA_GRAD
+from repro.core import inter_config, intra_config
+from repro.host import AddressEngineDriver
+from repro.image import noise_frame
+
+
+class TestFastPath:
+    def test_intra_result_matches_simulated(self, fmt32, frame32):
+        config = intra_config(INTRA_GRAD, fmt32)
+        fast = AddressEngineDriver().submit(config, frame32)
+        slow = AddressEngineDriver(simulate=True).submit(config, frame32)
+        assert fast.frame.equals(slow.frame)
+
+    def test_fast_timing_matches_simulated(self, fmt32, frame32):
+        config = intra_config(INTRA_GRAD, fmt32)
+        fast = AddressEngineDriver().submit(config, frame32)
+        slow = AddressEngineDriver(simulate=True).submit(config, frame32)
+        assert fast.board_seconds == pytest.approx(slow.board_seconds)
+        assert fast.call_seconds == pytest.approx(slow.call_seconds)
+        assert fast.run is None and slow.run is not None
+
+    def test_reduce_scalar(self, fmt32, frame32, frame32_b):
+        config = inter_config(INTER_ABSDIFF, fmt32, reduce_to_scalar=True)
+        result = AddressEngineDriver().submit(config, frame32, frame32_b)
+        assert result.frame is None
+        assert result.scalar is not None
+
+    def test_pci_word_accounting(self, fmt32, frame32):
+        config = intra_config(INTRA_GRAD, fmt32)
+        result = AddressEngineDriver().submit(config, frame32)
+        assert result.pci_words == 4 * fmt32.pixels
+
+    def test_interrupt_and_call_counters(self, fmt32, frame32):
+        driver = AddressEngineDriver()
+        config = intra_config(INTRA_GRAD, fmt32)
+        driver.submit(config, frame32)
+        driver.submit(config, frame32)
+        assert driver.calls_submitted == 2
+        # strips + readback + completion per call.
+        assert driver.interrupts_serviced == 2 * (fmt32.strips + 2)

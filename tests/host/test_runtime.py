@@ -1,0 +1,80 @@
+"""The evaluation runtime: per-platform accounting."""
+
+import pytest
+
+from repro.addresslib import INTER_ABSDIFF, INTRA_GRAD, OpProfile
+from repro.addresslib.profiling import InstructionCost
+from repro.host import Runtime, engine_platform, software_platform
+from repro.image import noise_frame
+from repro.perf import PENTIUM_4_3000, PENTIUM_M_1600
+
+
+class TestSoftwarePlatform:
+    def test_call_seconds_from_profiles(self, fmt32, frame32):
+        runtime = software_platform()
+        runtime.lib.intra(INTRA_GRAD, frame32)
+        report = runtime.report()
+        record = runtime.lib.log.records[-1]
+        expected = PENTIUM_M_1600.seconds(record.profile)
+        assert report.call_seconds == pytest.approx(expected)
+        assert report.intra_calls == 1
+
+    def test_high_level_charges(self, fmt32):
+        runtime = software_platform()
+        runtime.charge_high_level(1.6e9, mean_cpi=1.0)  # one second
+        assert runtime.report().high_level_seconds == pytest.approx(1.0)
+
+    def test_high_level_profile_charge(self):
+        runtime = software_platform()
+        profile = OpProfile()
+        profile.add_cost(InstructionCost(alu=1.6e9))
+        runtime.charge_high_level_profile(profile)
+        expected = PENTIUM_M_1600.seconds(profile)
+        assert runtime.report().high_level_seconds == pytest.approx(
+            expected)
+
+    def test_reset(self, fmt32, frame32):
+        runtime = software_platform()
+        runtime.lib.intra(INTRA_GRAD, frame32)
+        runtime.charge_high_level(1e6)
+        runtime.reset()
+        report = runtime.report()
+        assert report.total_calls == 0
+        assert report.total_seconds == 0.0
+
+
+class TestEnginePlatform:
+    def test_call_seconds_from_driver(self, fmt32, frame32, frame32_b):
+        runtime = engine_platform()
+        runtime.lib.inter(INTER_ABSDIFF, frame32, frame32_b)
+        report = runtime.report()
+        record = runtime.lib.log.records[-1]
+        assert report.call_seconds == pytest.approx(
+            record.extra["call_seconds"])
+        assert report.inter_calls == 1
+
+    def test_high_level_on_p4(self):
+        runtime = engine_platform()
+        runtime.charge_high_level(3.0e9, mean_cpi=1.0)
+        assert runtime.report().high_level_seconds == pytest.approx(1.0)
+
+    def test_platform_names(self):
+        assert "Pentium M" in software_platform().platform_name
+        assert "AddressEngine" in engine_platform().platform_name
+
+
+class TestSpeedupDirection:
+    def test_engine_beats_software_on_heavy_calls(self, fmt32, frame32):
+        """Even without the XM overhead, the coprocessor should not lose
+        badly on small frames; with real CIF calls it wins (Table 3)."""
+        from repro.gme import xm_cost_model
+        from repro.addresslib import SoftwareBackend
+        from repro.image import CIF, gradient_frame
+        frame = gradient_frame(CIF)
+        sw = Runtime(SoftwareBackend(cost_model=xm_cost_model()),
+                     PENTIUM_M_1600)
+        hw = engine_platform(PENTIUM_4_3000)
+        sw.lib.intra(INTRA_GRAD, frame)
+        hw.lib.intra(INTRA_GRAD, frame)
+        assert (sw.report().call_seconds
+                > 2 * hw.report().call_seconds)

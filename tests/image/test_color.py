@@ -1,0 +1,84 @@
+"""BT.601 colour conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image import ImageFormat
+from repro.image.color import (frame_from_rgb, frame_to_rgb, rgb_to_yuv,
+                               yuv_to_rgb)
+
+FMT = ImageFormat("COL", 8, 6)
+
+
+def solid(r, g, b, shape=(4, 4)):
+    rgb = np.zeros(shape + (3,), dtype=np.uint8)
+    rgb[..., 0] = r
+    rgb[..., 1] = g
+    rgb[..., 2] = b
+    return rgb
+
+
+class TestKnownColours:
+    def test_white(self):
+        y, u, v = rgb_to_yuv(solid(255, 255, 255))
+        assert y[0, 0] == 255
+        assert u[0, 0] == 128 and v[0, 0] == 128
+
+    def test_black(self):
+        y, u, v = rgb_to_yuv(solid(0, 0, 0))
+        assert y[0, 0] == 0
+        assert u[0, 0] == 128 and v[0, 0] == 128
+
+    def test_gray_is_neutral_chroma(self):
+        y, u, v = rgb_to_yuv(solid(90, 90, 90))
+        assert y[0, 0] == 90
+        assert u[0, 0] == 128 and v[0, 0] == 128
+
+    def test_pure_red_extremes(self):
+        y, u, v = rgb_to_yuv(solid(255, 0, 0))
+        assert y[0, 0] == round(0.299 * 255)
+        assert v[0, 0] == 255       # V carries R - Y
+        assert u[0, 0] < 128
+
+    def test_pure_blue_extremes(self):
+        y, u, v = rgb_to_yuv(solid(0, 0, 255))
+        assert u[0, 0] == 255       # U carries B - Y
+        assert v[0, 0] < 128
+
+
+class TestRoundTrip:
+    @given(r=st.integers(0, 255), g=st.integers(0, 255),
+           b=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_rgb_survives_roundtrip_within_rounding(self, r, g, b):
+        back = yuv_to_rgb(*rgb_to_yuv(solid(r, g, b)))
+        assert abs(int(back[0, 0, 0]) - r) <= 2
+        assert abs(int(back[0, 0, 1]) - g) <= 2
+        assert abs(int(back[0, 0, 2]) - b) <= 2
+
+    def test_random_image_roundtrip_close(self):
+        rng = np.random.default_rng(8)
+        rgb = rng.integers(0, 256, size=(6, 8, 3)).astype(np.uint8)
+        back = yuv_to_rgb(*rgb_to_yuv(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 2
+
+
+class TestFrameBridges:
+    def test_frame_from_rgb_and_back(self):
+        rng = np.random.default_rng(9)
+        rgb = rng.integers(0, 256, size=(6, 8, 3)).astype(np.uint8)
+        frame = frame_from_rgb(FMT, rgb)
+        back = frame_to_rgb(frame)
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 2
+        assert frame.alfa.max() == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            frame_from_rgb(FMT, np.zeros((2, 2, 3), np.uint8))
+        with pytest.raises(ValueError):
+            rgb_to_yuv(np.zeros((4, 4), np.uint8))
+        with pytest.raises(ValueError):
+            yuv_to_rgb(np.zeros((2, 2)), np.zeros((2, 2)),
+                       np.zeros((3, 3)))

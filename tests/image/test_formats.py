@@ -1,0 +1,59 @@
+"""Frame formats: the QCIF/CIF geometry the ZBT map is sized for."""
+
+import pytest
+
+from repro.image import (CIF, PIXEL_BYTES, QCIF, STRIP_LINES, ImageFormat,
+                         format_by_name)
+
+
+class TestPaperFormats:
+    def test_qcif_dimensions(self):
+        assert (QCIF.width, QCIF.height) == (176, 144)
+
+    def test_cif_dimensions(self):
+        assert (CIF.width, CIF.height) == (352, 288)
+
+    def test_cif_pixel_count_matches_table2_base(self):
+        """Table 2's hardware column is 2 x this number."""
+        assert CIF.pixels == 101_376
+        assert 2 * CIF.pixels == 202_752
+
+    def test_packed_sizes_match_paper_approximations(self):
+        # "QCIF ... approx. 200 kBytes" / "CIF ... approx. 800 kBytes"
+        assert QCIF.bytes_packed == QCIF.pixels * PIXEL_BYTES
+        assert 190_000 < QCIF.bytes_packed < 210_000
+        assert 790_000 < CIF.bytes_packed < 820_000
+
+    def test_sixteen_divides_both_heights(self):
+        """Section 3.1: 'Sixteen is also divisor of the image size'."""
+        assert QCIF.strip_aligned
+        assert CIF.strip_aligned
+        assert QCIF.strips == 144 // STRIP_LINES == 9
+        assert CIF.strips == 288 // STRIP_LINES == 18
+
+
+class TestImageFormat:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            ImageFormat("bad", 0, 10)
+        with pytest.raises(ValueError):
+            ImageFormat("bad", 10, -1)
+
+    def test_contains(self):
+        fmt = ImageFormat("t", 4, 3)
+        assert fmt.contains(0, 0)
+        assert fmt.contains(3, 2)
+        assert not fmt.contains(4, 0)
+        assert not fmt.contains(0, 3)
+        assert not fmt.contains(-1, 1)
+
+    def test_partial_strip_counting(self):
+        fmt = ImageFormat("odd", 8, 20)
+        assert fmt.strips == 2
+        assert not fmt.strip_aligned
+
+    def test_lookup_by_name(self):
+        assert format_by_name("cif") is CIF
+        assert format_by_name(" QCIF ") is QCIF
+        with pytest.raises(KeyError):
+            format_by_name("PAL")

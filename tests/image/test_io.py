@@ -1,0 +1,114 @@
+"""Frame file I/O: PGM, planar YUV clips, packed dumps."""
+
+import numpy as np
+import pytest
+
+from repro.image import ImageFormat, Frame, noise_frame
+from repro.image.io import (AE64_MAGIC, read_ae64, read_pgm, read_yuv420,
+                            write_ae64, write_pgm, write_yuv420,
+                            yuv420_frame_bytes)
+
+FMT = ImageFormat("IO12", 12, 8)
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path):
+        plane = np.arange(96, dtype=np.uint8).reshape(8, 12)
+        path = tmp_path / "x.pgm"
+        write_pgm(path, plane)
+        assert np.array_equal(read_pgm(path), plane)
+
+    def test_float_input_clipped(self, tmp_path):
+        plane = np.full((4, 4), 300.0)
+        plane[0, 0] = -5.0
+        path = tmp_path / "c.pgm"
+        write_pgm(path, plane)
+        loaded = read_pgm(path)
+        assert loaded[0, 0] == 0
+        assert loaded[1, 1] == 255
+
+    def test_header_with_comment(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 2\n255\n\x01\x02\x03\x04")
+        assert read_pgm(path).tolist() == [[1, 2], [3, 4]]
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n" + b"\x00" * 12)
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_rejects_truncation(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3)))
+
+
+class TestYuv420:
+    def test_frame_size(self):
+        assert yuv420_frame_bytes(FMT) == 96 + 2 * 24
+
+    def test_clip_roundtrip_420_content(self, tmp_path):
+        """Frames whose chroma is constant per quad (true 4:2:0 content)
+        survive the clip exactly."""
+        frames = []
+        for seed in (1, 2, 3):
+            frame = noise_frame(FMT, seed=seed)
+            frame.u[:] = np.repeat(np.repeat(frame.u[::2, ::2], 2, 0), 2, 1)
+            frame.v[:] = np.repeat(np.repeat(frame.v[::2, ::2], 2, 0), 2, 1)
+            frame.alfa[:] = 0
+            frame.aux[:] = 0
+            frames.append(frame)
+        path = tmp_path / "clip.yuv"
+        assert write_yuv420(path, frames) == 3
+        loaded = read_yuv420(path, FMT)
+        assert len(loaded) == 3
+        for original, back in zip(frames, loaded):
+            assert back.equals(original)
+
+    def test_max_frames(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv420(path, [noise_frame(FMT, seed=s) for s in range(4)])
+        assert len(read_yuv420(path, FMT, max_frames=2)) == 2
+
+    def test_append(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv420(path, [noise_frame(FMT, seed=1)])
+        write_yuv420(path, [noise_frame(FMT, seed=2)], append=True)
+        assert len(read_yuv420(path, FMT)) == 2
+
+    def test_truncated_clip_rejected(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        path.write_bytes(b"\x00" * (yuv420_frame_bytes(FMT) - 1))
+        with pytest.raises(ValueError):
+            read_yuv420(path, FMT)
+
+
+class TestAe64:
+    def test_lossless_roundtrip_all_channels(self, tmp_path):
+        frame = noise_frame(FMT, seed=9)
+        path = tmp_path / "f.ae64"
+        write_ae64(path, frame)
+        loaded = read_ae64(path)
+        assert loaded.equals(frame)
+        assert loaded.width == FMT.width
+
+    def test_magic_checked(self, tmp_path):
+        path = tmp_path / "bad.ae64"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(ValueError):
+            read_ae64(path)
+
+    def test_header_layout(self, tmp_path):
+        frame = Frame(FMT)
+        path = tmp_path / "f.ae64"
+        write_ae64(path, frame)
+        blob = path.read_bytes()
+        assert blob.startswith(AE64_MAGIC)
+        assert int.from_bytes(blob[5:9], "little") == FMT.width
+        assert len(blob) == 5 + 8 + 2 * 4 * FMT.pixels

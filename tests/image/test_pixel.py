@@ -1,0 +1,109 @@
+"""Pixel packing: the 64-bit channel layout and its ZBT word split."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.image import ALL_CHANNELS, COLOR_CHANNELS, Channel, Pixel
+
+channel_values = st.fixed_dictionaries({
+    "y": st.integers(0, 255),
+    "u": st.integers(0, 255),
+    "v": st.integers(0, 255),
+    "alfa": st.integers(0, 0xFFFF),
+    "aux": st.integers(0, 0xFFFF),
+})
+
+
+class TestChannelLayout:
+    def test_color_channels_live_in_lower_word(self):
+        for channel in COLOR_CHANNELS:
+            assert channel.word == "lower"
+            assert channel.bits == 8
+
+    def test_meta_channels_live_in_upper_word(self):
+        assert Channel.ALFA.word == "upper"
+        assert Channel.AUX.word == "upper"
+        assert Channel.ALFA.bits == 16
+        assert Channel.AUX.bits == 16
+
+    def test_channel_masks_are_disjoint_per_word(self):
+        lower = [c for c in ALL_CHANNELS if c.word == "lower"]
+        upper = [c for c in ALL_CHANNELS if c.word == "upper"]
+        for group in (lower, upper):
+            combined = 0
+            for channel in group:
+                assert combined & channel.mask == 0
+                combined |= channel.mask
+            assert combined <= 0xFFFFFFFF
+
+    def test_yuv_fits_one_word(self):
+        """The whole colour information costs one 32-bit access -- the
+        fact behind Table 2's hardware column."""
+        total_bits = sum(c.bits for c in COLOR_CHANNELS)
+        assert total_bits == 24
+
+
+class TestPixelValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("y", 256), ("u", -1), ("v", 999),
+        ("alfa", 1 << 16), ("aux", -5),
+    ])
+    def test_out_of_range_channel_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Pixel(**{field: value})
+
+    def test_defaults_are_zero(self):
+        pixel = Pixel()
+        assert pixel.pack() == (0, 0)
+
+    def test_gray_constructor(self):
+        pixel = Pixel.gray(77)
+        assert (pixel.y, pixel.u, pixel.v) == (77, 128, 128)
+
+
+class TestPackUnpack:
+    @given(channel_values)
+    def test_roundtrip(self, values):
+        pixel = Pixel(**values)
+        assert Pixel.unpack(*pixel.pack()) == pixel
+
+    @given(channel_values)
+    def test_lower_word_carries_only_color(self, values):
+        pixel = Pixel(**values)
+        lower = pixel.lower_word
+        assert lower & 0xFF == values["y"]
+        assert (lower >> 8) & 0xFF == values["u"]
+        assert (lower >> 16) & 0xFF == values["v"]
+        assert lower >> 24 == 0  # reserved bits stay clear
+
+    @given(channel_values)
+    def test_upper_word_carries_alfa_aux(self, values):
+        pixel = Pixel(**values)
+        upper = pixel.upper_word
+        assert upper & 0xFFFF == values["alfa"]
+        assert upper >> 16 == values["aux"]
+
+    def test_unpack_masks_extraneous_bits(self):
+        pixel = Pixel.unpack(0xFF123456, 0xDEADBEEF)
+        assert pixel.y == 0x56
+        assert pixel.u == 0x34
+        assert pixel.v == 0x12
+        assert pixel.alfa == 0xBEEF
+        assert pixel.aux == 0xDEAD
+
+
+class TestChannelAccess:
+    @given(channel_values, st.sampled_from(list(Channel)))
+    def test_get_matches_field(self, values, channel):
+        pixel = Pixel(**values)
+        assert pixel.get(channel) == values[channel.name.lower()]
+
+    @given(channel_values, st.sampled_from(list(Channel)))
+    def test_with_channel_replaces_exactly_one(self, values, channel):
+        pixel = Pixel(**values)
+        replaced = pixel.with_channel(channel, 1)
+        assert replaced.get(channel) == 1
+        for other in ALL_CHANNELS:
+            if other is not channel:
+                assert replaced.get(other) == pixel.get(other)

@@ -1,0 +1,116 @@
+"""The software baseline's planar 4:2:0 store and its access counting."""
+
+import numpy as np
+import pytest
+
+from repro.image import (AccessCounter, Channel, Frame, ImageFormat, Pixel,
+                         PlanarFrame420, noise_frame)
+
+
+@pytest.fixture
+def fmt():
+    return ImageFormat("T8x6", 8, 6)
+
+
+class TestAccessCounter:
+    def test_totals(self):
+        counter = AccessCounter()
+        counter.count_read(Channel.Y, 3)
+        counter.count_write(Channel.U)
+        assert counter.total_reads == 3
+        assert counter.total_writes == 1
+        assert counter.total == 4
+
+    def test_reset(self):
+        counter = AccessCounter()
+        counter.count_read(Channel.Y)
+        counter.reset()
+        assert counter.total == 0
+
+    def test_snapshot_keys(self):
+        counter = AccessCounter()
+        snap = counter.snapshot()
+        assert snap["total"] == 0
+        assert "reads_Y" in snap and "writes_AUX" in snap
+
+
+class TestPlanarLayout:
+    def test_chroma_planes_quarter_size(self, fmt):
+        planar = PlanarFrame420(fmt)
+        assert planar.plane(Channel.Y).shape == (6, 8)
+        assert planar.plane(Channel.U).shape == (3, 4)
+        assert planar.plane(Channel.V).shape == (3, 4)
+        assert planar.plane(Channel.ALFA).shape == (6, 8)
+
+    def test_chroma_addressed_through_full_res_coords(self, fmt):
+        planar = PlanarFrame420(fmt)
+        planar.write(Channel.U, 4, 2, 99)
+        # The whole 2x2 quad maps to the same chroma sample.
+        assert planar.read(Channel.U, 5, 3) == 99
+        assert planar.read(Channel.U, 4, 3) == 99
+
+    def test_every_access_counted(self, fmt):
+        planar = PlanarFrame420(fmt)
+        planar.read(Channel.Y, 0, 0)
+        planar.write(Channel.V, 1, 1, 5)
+        planar.read_clamped(Channel.Y, -3, 99)
+        assert planar.counter.total == 3
+        assert planar.counter.reads[Channel.Y] == 2
+        assert planar.counter.writes[Channel.V] == 1
+
+    def test_clamped_read_hits_border(self, fmt):
+        planar = PlanarFrame420(fmt)
+        planar.plane(Channel.Y)[0, 0] = 42
+        planar.plane(Channel.Y)[5, 7] = 24
+        assert planar.read_clamped(Channel.Y, -5, -5) == 42
+        assert planar.read_clamped(Channel.Y, 100, 100) == 24
+
+    def test_out_of_range_raises(self, fmt):
+        planar = PlanarFrame420(fmt)
+        with pytest.raises(IndexError):
+            planar.read(Channel.Y, 8, 0)
+
+    def test_shared_counter(self, fmt):
+        counter = AccessCounter()
+        a = PlanarFrame420(fmt, counter)
+        b = PlanarFrame420(fmt, counter)
+        a.read(Channel.Y, 0, 0)
+        b.write(Channel.Y, 0, 0, 1)
+        assert counter.total == 2
+
+
+class TestConversions:
+    def test_from_frame_decimates_chroma(self, fmt):
+        frame = Frame(fmt)
+        frame.u[:] = np.arange(48).reshape(6, 8) % 256
+        planar = PlanarFrame420.from_frame(frame)
+        assert np.array_equal(planar.plane(Channel.U), frame.u[::2, ::2])
+
+    def test_conversion_is_uncounted(self, fmt):
+        frame = noise_frame(fmt, seed=9)
+        planar = PlanarFrame420.from_frame(frame)
+        assert planar.counter.total == 0
+        planar.to_frame()
+        assert planar.counter.total == 0
+
+    def test_roundtrip_preserves_luma_and_meta(self, fmt):
+        frame = noise_frame(fmt, seed=10)
+        rebuilt = PlanarFrame420.from_frame(frame).to_frame()
+        assert np.array_equal(rebuilt.y, frame.y)
+        assert np.array_equal(rebuilt.alfa, frame.alfa)
+        assert np.array_equal(rebuilt.aux, frame.aux)
+
+    def test_roundtrip_chroma_is_2x2_constant(self, fmt):
+        frame = noise_frame(fmt, seed=11)
+        rebuilt = PlanarFrame420.from_frame(frame).to_frame()
+        # Each 2x2 quad carries one chroma sample after the roundtrip.
+        assert np.array_equal(rebuilt.u[::2, ::2], rebuilt.u[1::2, 1::2])
+
+    def test_lossless_for_420_source(self, fmt):
+        """MPEG-1 material is already 4:2:0: chroma constant per quad
+        round-trips exactly (the software/hardware stores then agree)."""
+        frame = noise_frame(fmt, seed=12)
+        frame.u[:] = np.repeat(np.repeat(frame.u[::2, ::2], 2, 0), 2, 1)
+        frame.v[:] = np.repeat(np.repeat(frame.v[::2, ::2], 2, 0), 2, 1)
+        rebuilt = PlanarFrame420.from_frame(frame).to_frame()
+        assert rebuilt.equals(frame)

@@ -1,0 +1,108 @@
+"""Synthetic content generators: determinism and structure."""
+
+import numpy as np
+import pytest
+
+from repro.image import (ImageFormat, blob_frame, checkerboard_frame,
+                         frame_from_luma, gradient_frame, noise_frame,
+                         textured_panorama)
+
+FMT = ImageFormat("T24", 24, 16)
+
+
+class TestGradient:
+    def test_horizontal_ramp_is_monotonic(self):
+        frame = gradient_frame(FMT, horizontal=True)
+        row = frame.y[0].astype(int)
+        assert all(b >= a for a, b in zip(row, row[1:]))
+        assert row[0] == 0 and row[-1] == 255
+
+    def test_vertical_ramp_constant_along_rows(self):
+        frame = gradient_frame(FMT, horizontal=False)
+        assert (frame.y == frame.y[:, :1]).all()
+
+    def test_neutral_chroma(self):
+        frame = gradient_frame(FMT)
+        assert (frame.u == 128).all() and (frame.v == 128).all()
+
+
+class TestCheckerboard:
+    def test_cell_structure(self):
+        frame = checkerboard_frame(FMT, cell=4, low=10, high=200)
+        assert frame.y[0, 0] == 10
+        assert frame.y[0, 4] == 200
+        assert frame.y[4, 4] == 10
+        assert set(np.unique(frame.y)) == {10, 200}
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError):
+            checkerboard_frame(FMT, cell=0)
+
+
+class TestNoise:
+    def test_deterministic_per_seed(self):
+        assert noise_frame(FMT, seed=1).equals(noise_frame(FMT, seed=1))
+
+    def test_different_seeds_differ(self):
+        assert not noise_frame(FMT, seed=1).equals(noise_frame(FMT, seed=2))
+
+    def test_fills_meta_channels(self):
+        frame = noise_frame(FMT, seed=3)
+        assert frame.alfa.max() > 255  # uses the full 16-bit range
+        assert frame.aux.max() > 255
+
+
+class TestPanorama:
+    def test_shape_and_range(self):
+        pano = textured_panorama(200, 120, seed=4)
+        assert pano.shape == (120, 200)
+        assert pano.min() == 0.0
+        assert abs(pano.max() - 255.0) < 1e-9
+
+    def test_deterministic(self):
+        a = textured_panorama(64, 64, seed=5)
+        b = textured_panorama(64, 64, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_textured_not_flat(self):
+        pano = textured_panorama(128, 128, seed=6)
+        assert pano.std() > 20  # enough contrast for SAD minima
+
+    def test_smooth_locally(self):
+        """Band-limited: neighbouring samples stay close, so gradient
+        descent sees a usable error surface."""
+        pano = textured_panorama(256, 128, seed=7)
+        dx = np.abs(np.diff(pano, axis=1))
+        assert dx.mean() < 8.0
+
+    def test_rejects_zero_octaves(self):
+        with pytest.raises(ValueError):
+            textured_panorama(64, 64, octaves=0)
+
+
+class TestLumaFrame:
+    def test_clips_and_rounds(self):
+        luma = np.full((FMT.height, FMT.width), -5.0)
+        luma[0, 0] = 300.0
+        luma[0, 1] = 99.6
+        frame = frame_from_luma(FMT, luma)
+        assert frame.y[1, 1] == 0
+        assert frame.y[0, 0] == 255
+        assert frame.y[0, 1] == 100
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            frame_from_luma(FMT, np.zeros((2, 2)))
+
+
+class TestBlobs:
+    def test_blob_is_connected_bright_region(self):
+        frame = blob_frame(FMT, [(12, 8)], radius=4, inside=220, outside=20)
+        assert frame.y[8, 12] == 220
+        assert frame.y[0, 0] == 20
+        area = int((frame.y == 220).sum())
+        assert 30 <= area <= 55  # roughly pi * r^2
+
+    def test_multiple_blobs(self):
+        frame = blob_frame(FMT, [(5, 5), (18, 10)], radius=3)
+        assert frame.y[5, 5] == frame.y[10, 18] == 200

@@ -1,0 +1,19 @@
+"""The one-shot summary CLI."""
+
+from repro import summary
+
+
+class TestSummaryCli:
+    def test_full_summary_runs(self, capsys):
+        summary.main(["--table3-scale", "0.012"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "exact" in out and "DIFFERS" not in out
+        assert "average speedup" in out
+        assert "12.5%" in out
+
+    def test_skip_table3(self, capsys):
+        summary.main(["--skip-table3"])
+        out = capsys.readouterr().out
+        assert "Table 3" not in out
+        assert "Section 1 / 4.1 claims" in out

@@ -1,0 +1,54 @@
+"""Host CPU cost models."""
+
+import pytest
+
+from repro.addresslib import InstructionCost, OpProfile
+from repro.perf import (CpuModel, DEFAULT_CPI, PENTIUM_4_3000,
+                        PENTIUM_M_1600)
+
+
+def profile_of(cost, units=1):
+    profile = OpProfile()
+    profile.add_cost(cost, units)
+    return profile
+
+
+class TestCpuModel:
+    def test_cycles_weight_by_class(self):
+        cpu = CpuModel("t", 1e9, cpi={"addr": 1, "load": 2, "store": 2,
+                                      "alu": 1, "mul": 4, "branch": 3})
+        profile = profile_of(InstructionCost(addr=10, mul=5, branch=2))
+        assert cpu.cycles(profile) == 10 * 1 + 5 * 4 + 2 * 3
+
+    def test_seconds_divides_by_clock(self):
+        cpu = CpuModel("t", 2e9, cpi=dict(DEFAULT_CPI))
+        profile = profile_of(InstructionCost(alu=2e9 / DEFAULT_CPI["alu"]))
+        assert cpu.seconds(profile) == pytest.approx(1.0)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel("bad", 1e9, cpi={"addr": 1})
+
+    def test_flat_instruction_helper(self):
+        cpu = CpuModel("t", 1e9, cpi=dict(DEFAULT_CPI))
+        assert cpu.seconds_for_instructions(1e9, mean_cpi=2.0) == \
+            pytest.approx(2.0)
+
+
+class TestPaperHosts:
+    def test_clocks(self):
+        assert PENTIUM_M_1600.clock_hz == 1.6e9
+        assert PENTIUM_4_3000.clock_hz == 3.0e9
+
+    def test_same_profile_scales_by_clock(self):
+        """With identical CPI tables the P4 runs the same profile faster
+        by exactly the clock ratio (used by the Table 3 dual pricing)."""
+        profile = profile_of(InstructionCost(addr=100, load=50, alu=80))
+        ratio = (PENTIUM_M_1600.seconds(profile)
+                 / PENTIUM_4_3000.seconds(profile))
+        assert ratio == pytest.approx(3.0 / 1.6)
+
+    def test_loads_cost_more_than_alu(self):
+        """The calibration reflects memory-bound scalar code."""
+        assert DEFAULT_CPI["load"] > DEFAULT_CPI["alu"]
+        assert DEFAULT_CPI["mul"] > DEFAULT_CPI["alu"]

@@ -1,0 +1,65 @@
+"""Table 2's memory-access accounting: exact paper numbers."""
+
+import pytest
+
+from repro.image import CIF, QCIF
+from repro.perf import (MemoryAccessRow, PAPER_TABLE2, hardware_accesses,
+                        table2_rows)
+
+
+class TestTable2Exact:
+    def test_all_four_rows_match_the_paper(self):
+        rows = table2_rows(CIF)
+        assert len(rows) == len(PAPER_TABLE2)
+        for row, paper in zip(rows, PAPER_TABLE2):
+            label, cin, cout, sw, hw, saving = paper
+            assert row.label == label
+            assert row.channels_in == cin
+            assert row.sw_accesses == sw, row.label
+            assert row.hw_accesses == hw, row.label
+            assert row.paper_saving_percent == pytest.approx(saving,
+                                                             abs=0.5)
+
+    def test_hw_constant_across_rows(self):
+        """The engine touches each pixel once in, once out -- regardless
+        of operation, neighbourhood or channel count."""
+        rows = table2_rows(CIF)
+        assert len({row.hw_accesses for row in rows}) == 1
+        assert rows[0].hw_accesses == 2 * CIF.pixels
+
+    def test_saving_grows_with_traffic(self):
+        """'The benefit obtained ... increases with the amount of data
+        traffic.'"""
+        rows = table2_rows(CIF)
+        ratios = [row.sw_accesses / row.hw_accesses for row in rows]
+        assert ratios[1] == min(ratios)          # CON_0: no benefit
+        assert ratios[3] == max(ratios) == 3.0   # YUV CON_8: largest
+
+    def test_paper_mixes_saving_conventions(self):
+        """Rows 1-3 use (SW-HW)/SW; row 4 prints (SW-HW)/HW = 200 %."""
+        rows = table2_rows(CIF)
+        assert not rows[0].paper_uses_hw_basis
+        assert rows[3].paper_uses_hw_basis
+        assert rows[3].saving_vs_software == pytest.approx(2 / 3, abs=0.01)
+        assert rows[3].saving_vs_hardware == pytest.approx(2.0, abs=0.01)
+
+
+class TestScaling:
+    def test_qcif_scales_by_pixel_count(self):
+        cif_rows = table2_rows(CIF)
+        qcif_rows = table2_rows(QCIF)
+        scale = QCIF.pixels / CIF.pixels
+        for c, q in zip(cif_rows, qcif_rows):
+            assert q.sw_accesses == pytest.approx(c.sw_accesses * scale,
+                                                  rel=0.01)
+            assert q.hw_accesses == c.hw_accesses * scale
+
+    def test_reduce_call_hardware_accesses(self):
+        assert hardware_accesses(CIF, produces_image=False) == CIF.pixels
+
+
+class TestRowMath:
+    def test_zero_division_guards(self):
+        row = MemoryAccessRow("z", "Y", "Y", sw_accesses=0, hw_accesses=0)
+        assert row.saving_vs_software == 0.0
+        assert row.saving_vs_hardware == 0.0

@@ -1,0 +1,99 @@
+"""Quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.metrics import (best_segment_match, dice, iou, mae, mse,
+                                psnr, segment_iou)
+
+
+class TestErrorMetrics:
+    def test_identical_planes(self):
+        plane = np.arange(16.0).reshape(4, 4)
+        assert mae(plane, plane) == 0.0
+        assert mse(plane, plane) == 0.0
+        assert psnr(plane, plane) == float("inf")
+
+    def test_constant_offset(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 3.0)
+        assert mae(a, b) == 3.0
+        assert mse(a, b) == 9.0
+
+    def test_psnr_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @given(offset=st.floats(0.5, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_psnr_monotone_in_error(self, offset):
+        a = np.zeros((4, 4))
+        near = np.full((4, 4), offset)
+        far = np.full((4, 4), offset * 2)
+        assert psnr(a, near) > psnr(a, far)
+
+
+class TestMaskMetrics:
+    def test_identical_masks(self):
+        mask = np.zeros((4, 4), bool)
+        mask[:2] = True
+        assert iou(mask, mask) == 1.0
+        assert dice(mask, mask) == 1.0
+
+    def test_disjoint_masks(self):
+        a = np.zeros((4, 4), bool)
+        b = np.zeros((4, 4), bool)
+        a[0] = True
+        b[3] = True
+        assert iou(a, b) == 0.0
+        assert dice(a, b) == 0.0
+
+    def test_half_overlap(self):
+        a = np.zeros((4, 4), bool)
+        b = np.zeros((4, 4), bool)
+        a[:2] = True          # 8 pixels
+        b[1:3] = True         # 8 pixels, 4 shared
+        assert iou(a, b) == pytest.approx(4 / 12)
+        assert dice(a, b) == pytest.approx(8 / 16)
+
+    def test_empty_masks_agree_vacuously(self):
+        empty = np.zeros((4, 4), bool)
+        assert iou(empty, empty) == 1.0
+        assert dice(empty, empty) == 1.0
+
+    def test_dice_geq_iou(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((8, 8)) > 0.5
+        b = rng.random((8, 8)) > 0.5
+        assert dice(a, b) >= iou(a, b)
+
+
+class TestSegmentMatching:
+    def test_segment_iou(self):
+        labels = np.zeros((4, 4), np.int32)
+        labels[:, 2:] = 1
+        assert segment_iou(labels, labels, 0, 0) == 1.0
+        assert segment_iou(labels, labels, 0, 1) == 0.0
+
+    def test_best_segment_match(self):
+        labels = np.zeros((4, 4), np.int32)
+        labels[:, 2:] = 1
+        mask = np.zeros((4, 4), bool)
+        mask[:, 2:] = True
+        mask[0, 0] = True     # one stray pixel
+        best_id, score = best_segment_match(labels, mask)
+        assert best_id == 1
+        assert score == pytest.approx(8 / 9)
+
+    def test_no_segments(self):
+        labels = np.full((4, 4), -1, np.int32)
+        best_id, score = best_segment_match(labels,
+                                            np.ones((4, 4), bool))
+        assert best_id == -1 and score == 0.0

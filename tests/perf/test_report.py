@@ -1,0 +1,90 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.perf import format_seconds, format_table, ratio_line
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[5], [1234]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("1234")
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[1.0], [2.345]])
+        assert "1" in text and "2.35" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_cells(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize("seconds,expected", [
+        (64, "1'04''"),
+        (4 * 60 + 35, "4'35''"),
+        (12 * 60 + 25, "12'25''"),
+        (0.4, "0'00''"),
+    ])
+    def test_table3_style(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+
+class TestRatioLine:
+    def test_includes_factor(self):
+        line = ratio_line("speedup", measured=4.4, paper=5.0)
+        assert "x0.88" in line
+
+    def test_zero_paper_value(self):
+        assert "paper=0" in ratio_line("x", 1.0, 0.0)
+
+
+class TestCallLogExport:
+    def test_rows_and_csv(self, tmp_path):
+        from repro.addresslib import AddressLib, INTRA_GRAD, INTER_ABSDIFF
+        from repro.image import ImageFormat, noise_frame
+        from repro.perf import call_log_rows, write_call_log_csv
+        fmt = ImageFormat("CSV8", 8, 8)
+        lib = AddressLib()
+        frame = noise_frame(fmt, seed=1)
+        lib.intra(INTRA_GRAD, frame)
+        lib.inter_reduce(INTER_ABSDIFF, frame, frame)
+
+        rows = call_log_rows(lib.log)
+        assert len(rows) == 2
+        assert rows[0]["mode"] == "intra"
+        assert rows[1]["op"].endswith("+reduce")
+        assert rows[0]["instructions"] > 0
+
+        path = tmp_path / "log.csv"
+        assert write_call_log_csv(path, lib.log) == 2
+        text = path.read_text().splitlines()
+        assert text[0].startswith("index,mode,op")
+        assert len(text) == 3
+
+    def test_engine_log_extras_exported(self, tmp_path):
+        from repro.addresslib import AddressLib, INTRA_GRAD
+        from repro.host import EngineBackend
+        from repro.image import ImageFormat, noise_frame
+        from repro.perf import call_log_rows
+        fmt = ImageFormat("CSV8b", 8, 8)
+        lib = AddressLib(EngineBackend())
+        lib.intra(INTRA_GRAD, noise_frame(fmt, seed=2))
+        rows = call_log_rows(lib.log)
+        assert rows[0]["call_seconds"] > 0
+        assert rows[0]["instructions"] == ""

@@ -1,0 +1,90 @@
+"""Hierarchical region merging."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation import HierarchyBuilder, segment_sizes
+
+
+def striped(levels=(10, 20, 200, 210)):
+    """Four vertical stripes with the given mean luminances."""
+    labels = np.zeros((8, 8), dtype=np.int32)
+    luma = np.zeros((8, 8), dtype=np.float64)
+    for index, value in enumerate(levels):
+        labels[:, index * 2:(index + 1) * 2] = index
+        luma[:, index * 2:(index + 1) * 2] = value
+    return labels, luma
+
+
+class TestMergeOrder:
+    def test_most_similar_adjacent_pair_merges_first(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=3).build(labels, luma)
+        first = hierarchy.events[0]
+        assert {first.survivor, first.absorbed} in ({0, 1}, {2, 3})
+
+    def test_merges_down_to_min_regions(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=2).build(labels, luma)
+        assert hierarchy.events[-1].regions_after == 2
+
+    def test_full_merge_to_single_region(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        final = hierarchy.labels_at(1)
+        assert len(np.unique(final)) == 1
+
+    def test_dissimilarity_nondecreasing_within_scale(self):
+        """The two cheap stripe merges happen before the expensive
+        dark/bright join."""
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        costs = [event.dissimilarity for event in hierarchy.events]
+        assert costs[-1] == max(costs)
+
+
+class TestCutLevels:
+    def test_labels_at_intermediate_level(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        two = hierarchy.labels_at(2)
+        sizes = segment_sizes(two)
+        assert len(sizes) == 2
+        assert set(sizes.values()) == {32}
+        # The dark pair and the bright pair form the two objects.
+        assert two[0, 0] == two[0, 3]
+        assert two[0, 4] == two[0, 7]
+        assert two[0, 0] != two[0, 7]
+
+    def test_labels_at_initial_level(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        four = hierarchy.labels_at(4)
+        assert len(np.unique(four)) == 4
+
+    def test_cut_above_initial_rejected(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder().build(labels, luma)
+        with pytest.raises(ValueError):
+            hierarchy.labels_at(5)
+
+
+class TestProfileAndValidation:
+    def test_merge_work_profiled(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        assert hierarchy.profile.total_instructions > 0
+
+    def test_min_regions_validated(self):
+        with pytest.raises(ValueError):
+            HierarchyBuilder(min_regions=0)
+
+    def test_merged_regions_stay_connected(self):
+        labels, luma = striped()
+        hierarchy = HierarchyBuilder(min_regions=1).build(labels, luma)
+        for cut in (3, 2, 1):
+            cut_labels = hierarchy.labels_at(cut)
+            # Vertical stripes: every region is a contiguous column band.
+            for region in np.unique(cut_labels):
+                columns = np.unique(np.where(cut_labels == region)[1])
+                assert columns.max() - columns.min() + 1 == len(columns)

@@ -1,0 +1,79 @@
+"""Label-map utilities."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation import (adjacency, boundary_mask, coverage,
+                                merge_labels, relabel_compact,
+                                segment_means, segment_sizes)
+
+
+def quad_labels():
+    """A 4x4 map with four 2x2 quadrant segments labelled 3, 7, 9, 12."""
+    labels = np.zeros((4, 4), dtype=np.int32)
+    labels[:2, :2] = 3
+    labels[:2, 2:] = 7
+    labels[2:, :2] = 9
+    labels[2:, 2:] = 12
+    return labels
+
+
+class TestRelabel:
+    def test_compacts_to_first_appearance_order(self):
+        labels, count = relabel_compact(quad_labels())
+        assert count == 4
+        assert labels[0, 0] == 0
+        assert labels[0, 3] == 1
+        assert labels[3, 0] == 2
+        assert labels[3, 3] == 3
+
+    def test_preserves_unassigned(self):
+        raw = quad_labels()
+        raw[0, 0] = -1
+        labels, count = relabel_compact(raw)
+        assert labels[0, 0] == -1
+        assert count == 4
+
+
+class TestStatistics:
+    def test_sizes(self):
+        sizes = segment_sizes(quad_labels())
+        assert sizes == {3: 4, 7: 4, 9: 4, 12: 4}
+
+    def test_means(self):
+        labels = quad_labels()
+        values = np.arange(16, dtype=np.float64).reshape(4, 4)
+        means = segment_means(labels, values)
+        assert means[3] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_coverage(self):
+        labels = quad_labels()
+        assert coverage(labels) == 1.0
+        labels[0, 0] = -1
+        assert coverage(labels) == pytest.approx(15 / 16)
+
+
+class TestAdjacency:
+    def test_quadrants_touch_their_neighbours(self):
+        graph = adjacency(quad_labels())
+        assert graph[3] == {7, 9}
+        assert graph[12] == {7, 9}
+
+    def test_diagonal_not_adjacent(self):
+        graph = adjacency(quad_labels())
+        assert 12 not in graph[3]
+
+    def test_single_segment_has_no_neighbours(self):
+        graph = adjacency(np.zeros((3, 3), dtype=np.int32))
+        assert graph == {0: set()}
+
+
+class TestBoundaryAndMerge:
+    def test_boundary_mask(self):
+        mask = boundary_mask(quad_labels())
+        assert mask[0, 1] and mask[0, 2]   # across the vertical split
+        assert not mask[0, 0]
+
+    def test_merge_labels(self):
+        merged = merge_labels(quad_labels(), [(3, 7), (3, 9)])
+        assert segment_sizes(merged) == {3: 12, 12: 4}

@@ -1,0 +1,87 @@
+"""Full-frame region growing over segment addressing."""
+
+import numpy as np
+import pytest
+
+from repro.addresslib import AddressLib, AddressingMode
+from repro.image import ImageFormat, blob_frame, checkerboard_frame
+from repro.segmentation import (RegionGrowSegmenter, RegionGrowSettings,
+                                coverage, segment_sizes)
+
+FMT = ImageFormat("S64", 64, 64)
+
+
+class TestSeedSelection:
+    def test_seeds_on_grid_pitch(self):
+        lib = AddressLib()
+        segmenter = RegionGrowSegmenter(
+            lib, RegionGrowSettings(seed_pitch=16, seed_snap_radius=0))
+        gradient = np.zeros((64, 64))
+        seeds = segmenter.select_seeds(gradient)
+        assert len(seeds) == 16
+        assert (8, 8) in seeds
+
+    def test_seeds_snap_to_gradient_minima(self):
+        lib = AddressLib()
+        segmenter = RegionGrowSegmenter(
+            lib, RegionGrowSettings(seed_pitch=64, seed_snap_radius=4))
+        gradient = np.full((64, 64), 100.0)
+        gradient[30, 34] = 0.0  # a minimum near the grid point (32, 32)
+        seeds = segmenter.select_seeds(gradient)
+        assert seeds == [(34, 30)]
+
+
+class TestSegmentation:
+    def test_partition_is_complete(self):
+        frame = blob_frame(FMT, [(20, 20), (45, 45)], radius=10)
+        output = RegionGrowSegmenter(AddressLib()).segment_frame(frame)
+        assert coverage(output.labels) == 1.0
+
+    def test_blobs_are_single_segments(self):
+        frame = blob_frame(FMT, [(20, 20), (45, 45)], radius=10)
+        output = RegionGrowSegmenter(AddressLib()).segment_frame(frame)
+        blob_label_a = output.labels[20, 20]
+        blob_label_b = output.labels[45, 45]
+        assert blob_label_a != blob_label_b
+        # Each blob's pixels share one label.
+        blob_mask = frame.y == 200
+        assert len(np.unique(output.labels[blob_mask])) == 2
+
+    def test_background_separate_from_blobs(self):
+        frame = blob_frame(FMT, [(32, 32)], radius=12)
+        output = RegionGrowSegmenter(AddressLib()).segment_frame(frame)
+        assert output.labels[0, 0] != output.labels[32, 32]
+
+    def test_checkerboard_splits_cells(self):
+        frame = checkerboard_frame(FMT, cell=16)
+        output = RegionGrowSegmenter(AddressLib()).segment_frame(frame)
+        assert output.segment_count >= 16
+        sizes = segment_sizes(output.labels)
+        assert max(sizes.values()) <= 16 * 16
+
+    def test_labels_compact(self):
+        frame = blob_frame(FMT, [(32, 32)], radius=10)
+        output = RegionGrowSegmenter(AddressLib()).segment_frame(frame)
+        ids = np.unique(output.labels)
+        assert ids.min() == 0
+        assert ids.max() == output.segment_count - 1
+
+    def test_calls_logged_through_addresslib(self):
+        lib = AddressLib()
+        frame = blob_frame(FMT, [(32, 32)], radius=10)
+        RegionGrowSegmenter(lib).segment_frame(frame)
+        assert lib.log.intra_calls == 1   # the gradient call
+        assert lib.log.count(AddressingMode.SEGMENT) >= 1
+
+    def test_homogeneity_threshold_controls_granularity(self):
+        """A looser criterion merges across soft edges -> fewer segments."""
+        from repro.image import frame_from_luma, textured_panorama
+        luma = textured_panorama(64, 64, seed=3)
+        frame = frame_from_luma(ImageFormat("S64b", 64, 64), luma)
+        tight = RegionGrowSegmenter(
+            AddressLib(), RegionGrowSettings(luma_delta=2)).segment_frame(
+            frame)
+        loose = RegionGrowSegmenter(
+            AddressLib(), RegionGrowSettings(luma_delta=40)).segment_frame(
+            frame)
+        assert loose.segment_count < tight.segment_count

@@ -1,0 +1,51 @@
+"""The factor-30 profiling workload (claim C1)."""
+
+import pytest
+
+from repro.image import QCIF, blob_frame
+from repro.segmentation import WorkloadProfile, profile_segmentation_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    frame = blob_frame(QCIF, [(40, 40), (120, 70), (60, 110)], radius=20)
+    return profile_segmentation_workload(frame)
+
+
+class TestSplit:
+    def test_low_level_dominates(self, workload):
+        """The pixel-level (offloadable) share must dwarf the host-side
+        region-graph work -- the premise of the coprocessor approach."""
+        assert workload.offloadable_fraction > 0.9
+
+    def test_amdahl_bound_near_paper_estimate(self, workload):
+        """Section 1: 'the maximum achievable acceleration ... is
+        estimated as a factor of 30'."""
+        assert 20 < workload.amdahl_bound < 45
+
+    def test_addressing_dominates_low_level(self, workload):
+        """'Pixel address calculations are the dominant operations' --
+        within the offloadable work, addressing classes lead."""
+        assert workload.addressing_fraction_of_low_level > 0.6
+
+    def test_total_is_sum_of_parts(self, workload):
+        assert workload.total_instructions == pytest.approx(
+            workload.low_level.total_instructions
+            + workload.high_level.total_instructions)
+
+
+class TestWorkloadOutputs:
+    def test_segmentation_complete(self, workload):
+        from repro.segmentation import coverage
+        assert coverage(workload.segmentation.labels) == 1.0
+        assert workload.segmentation.segment_count > 3
+
+    def test_hierarchy_built(self, workload):
+        assert len(workload.hierarchy.events) > 0
+
+    def test_empty_profile_degenerate(self):
+        profile = WorkloadProfile.__new__(WorkloadProfile)
+        from repro.addresslib import OpProfile
+        profile.low_level = OpProfile()
+        profile.high_level = OpProfile()
+        assert profile.offloadable_fraction == 0.0
