@@ -7,7 +7,7 @@ regenerated rows survive pytest's output capturing.
 Environment knobs:
 
 * ``REPRO_TABLE3_SCALE`` -- fraction of each Table 3 sequence to run
-  (default 0.05; set to 1.0 for the full-length sequences).
+  (default 0.25; set to 1.0 for the full-length sequences).
 """
 
 from __future__ import annotations
@@ -38,4 +38,4 @@ def save_report(report_dir):
 
 @pytest.fixture(scope="session")
 def table3_scale() -> float:
-    return float(os.environ.get("REPRO_TABLE3_SCALE", "0.05"))
+    return float(os.environ.get("REPRO_TABLE3_SCALE", "0.25"))

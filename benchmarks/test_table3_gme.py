@@ -3,7 +3,7 @@
 Runs the MPEG-7 GME workload over the four synthetic stand-in sequences
 and prices the identical call log on both platforms (software Pentium M
 vs AddressEngine behind a Pentium 4 host).  Sequences run at
-``REPRO_TABLE3_SCALE`` of their full length (default 5 %) and the rows
+``REPRO_TABLE3_SCALE`` of their full length (default 25 %) and the rows
 are extrapolated linearly; set the variable to 1.0 to run full length.
 
 What must hold (the paper's shape):
@@ -11,14 +11,25 @@ What must hold (the paper's shape):
 * the FPGA platform wins on every sequence, by a factor in the 3.5-6.5
   band around the paper's "average factor of 5";
 * intra call counts land within 2 % of the paper (they are structural);
-* inter call counts land within 30 % (they depend on convergence);
+* inter call counts land within 20 % (they depend on convergence);
 * Pisa is the long sequence on both platforms.
+
+The run also emits ``BENCH_table3.json`` at the repo root: per-sequence
+wall times, speedups, and simulator throughput (cycles/sec) for both
+the batched fast path and the per-cycle reference stepper, so the perf
+trajectory is tracked across PRs.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
 from repro.gme import PAPER_TABLE3, TABLE3_SEQUENCES, evaluate_sequence_dual
 from repro.perf import format_seconds, format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +42,7 @@ def table3_rows(table3_scale):
 @pytest.fixture(scope="module")
 def table3_scale():
     import os
-    return float(os.environ.get("REPRO_TABLE3_SCALE", "0.05"))
+    return float(os.environ.get("REPRO_TABLE3_SCALE", "0.25"))
 
 
 def test_table3_rows(table3_rows, save_report, benchmark, table3_scale):
@@ -42,8 +53,10 @@ def test_table3_rows(table3_rows, save_report, benchmark, table3_scale):
         assert row.name == name
         # Structural intra calls: tight.
         assert row.intra_calls == pytest.approx(intra_paper, rel=0.02)
-        # Convergence-dependent inter calls: looser.
-        assert row.inter_calls == pytest.approx(inter_paper, rel=0.30)
+        # Convergence-dependent inter calls: looser than the structural
+        # intra count, but the 25 % default run length keeps the linear
+        # extrapolation within 20 %.
+        assert row.inter_calls == pytest.approx(inter_paper, rel=0.20)
         # Times: same order and winner; factors within ~2x of the paper.
         assert row.fpga_seconds < row.pm_seconds
         assert row.pm_seconds == pytest.approx(pm_paper, rel=0.45)
@@ -78,6 +91,74 @@ def test_table3_rows(table3_rows, save_report, benchmark, table3_scale):
     benchmark.pedantic(
         lambda: evaluate_sequence_dual(SINGAPORE, scale=0.01),
         rounds=1, iterations=1)
+
+
+def test_fastpath_speedup_writes_bench_json(table3_rows, table3_scale,
+                                            save_report):
+    """The batched fast path must make a CIF inter ``run_call`` at
+    least 20x faster wall-clock than the per-cycle reference stepper,
+    cycle counts identical.  Results (plus the Table 3 rows) land in
+    ``BENCH_table3.json`` at the repo root."""
+    from repro.addresslib import INTER_ABSDIFF
+    from repro.core import AddressEngine, inter_config
+    from repro.image import CIF, noise_frame
+
+    config = inter_config(INTER_ABSDIFF, CIF, reduce_to_scalar=True)
+    a = noise_frame(CIF, seed=101)
+    b = noise_frame(CIF, seed=102)
+    engine = AddressEngine()
+
+    t0 = time.perf_counter()
+    fast = engine.run_call(config, a, b, fast_path=True)
+    fast_seconds = time.perf_counter() - t0
+    assert fast.fast_path_used
+
+    t0 = time.perf_counter()
+    slow = engine.run_call(config, a, b, fast_path=False)
+    slow_seconds = time.perf_counter() - t0
+    assert not slow.fast_path_used
+
+    assert fast.cycles == slow.cycles
+    wall_speedup = slow_seconds / fast_seconds
+    assert wall_speedup >= 20.0
+
+    payload = {
+        "scale": table3_scale,
+        "sequences": [
+            {
+                "name": row.name,
+                "pm_seconds": row.pm_seconds,
+                "fpga_seconds": row.fpga_seconds,
+                "speedup": row.speedup,
+                "intra_calls": row.intra_calls,
+                "inter_calls": row.inter_calls,
+            }
+            for row in table3_rows
+        ],
+        "mean_speedup": (sum(row.speedup for row in table3_rows)
+                         / len(table3_rows)),
+        "fastpath_microbench": {
+            "format": "CIF",
+            "op": "inter_absdiff+reduce",
+            "cycles": slow.cycles,
+            "fastpath_wall_seconds": fast_seconds,
+            "percycle_wall_seconds": slow_seconds,
+            "wall_speedup": wall_speedup,
+            "fastpath_cycles_per_second": slow.cycles / fast_seconds,
+            "percycle_cycles_per_second": slow.cycles / slow_seconds,
+        },
+    }
+    (REPO_ROOT / "BENCH_table3.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    save_report("fastpath_microbench", format_table(
+        ["stepper", "wall", "cycles/sec"],
+        [("fast path", format_seconds(fast_seconds),
+          f"{slow.cycles / fast_seconds:,.0f}"),
+         ("per-cycle", format_seconds(slow_seconds),
+          f"{slow.cycles / slow_seconds:,.0f}")],
+        title=(f"CIF inter run_call -- {slow.cycles} cycles, "
+               f"fast path {wall_speedup:.1f}x faster")))
 
 
 def test_table3_fpga_time_is_call_dominated(table3_rows, benchmark,

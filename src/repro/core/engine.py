@@ -26,6 +26,8 @@ from ..addresslib.addressing import AddressingMode
 from ..addresslib.executor import VectorExecutor
 from ..image.frame import Frame
 from .config import EngineConfig, IIM_LINES, OIM_LINES
+from .fastpath import (EngineDeadlock, FastStepper, deadlock_message,
+                       tick_engine_cycle)
 from .iim import InputIntermediateMemory
 from .image_controller import ImageLevelController
 from .oim import OutputIntermediateMemory
@@ -43,10 +45,6 @@ PLC_TICKS_PER_CYCLE = 2
 #: runs at twice the design clock, so a TxU can stream two pixels per
 #: engine cycle and keep the doubled-rate Process Unit fed.
 INPUT_TXU_TICKS_PER_CYCLE = 2
-
-
-class EngineDeadlock(RuntimeError):
-    """The cycle loop exceeded its safety bound without completing."""
 
 
 @dataclass
@@ -71,6 +69,9 @@ class EngineRunResult:
     matrix_pixels_fetched: int
     input_complete_cycle: int
     completion_cycle: int
+    #: Whether the batched fast-path stepper drove the call (the result
+    #: is cycle-exact either way; this records which loop produced it).
+    fast_path_used: bool = False
 
     @property
     def seconds(self) -> float:
@@ -107,15 +108,32 @@ class AddressEngine:
     def __init__(self, clock_hz: float = PCI_CLOCK_HZ,
                  dma_overhead_cycles: int = DEFAULT_JOB_OVERHEAD_CYCLES,
                  plc_ticks_per_cycle: int = PLC_TICKS_PER_CYCLE,
-                 input_txu_ticks_per_cycle: int = INPUT_TXU_TICKS_PER_CYCLE
-                 ) -> None:
+                 input_txu_ticks_per_cycle: int = INPUT_TXU_TICKS_PER_CYCLE,
+                 fast_path: bool = True) -> None:
         """``plc_ticks_per_cycle`` and ``input_txu_ticks_per_cycle``
         default to the prototype's rates; ablation benches lower them to
-        quantify the startpipeline and the double-rate memory domain."""
+        quantify the startpipeline and the double-rate memory domain.
+        ``fast_path`` enables the cycle-exact batched stepper
+        (:mod:`repro.core.fastpath`); disable it to force the per-cycle
+        reference loop."""
         self.clock_hz = clock_hz
         self.dma_overhead_cycles = dma_overhead_cycles
         self.plc_ticks_per_cycle = plc_ticks_per_cycle
         self.input_txu_ticks_per_cycle = input_txu_ticks_per_cycle
+        self.fast_path = fast_path
+
+    def _fast_path_eligible(self, config: EngineConfig) -> bool:
+        """Static regimes the batched stepper handles.
+
+        Anything else (long-latency ops, single-strip frames, ablated
+        tick rates) runs the per-cycle reference loop; the stepper itself
+        additionally bridges any *dynamic* regime it cannot batch.
+        """
+        return (config.op.engine_cycles <= 2
+                and config.fmt.strips >= 2
+                and self.plc_ticks_per_cycle == PLC_TICKS_PER_CYCLE
+                and self.input_txu_ticks_per_cycle
+                == INPUT_TXU_TICKS_PER_CYCLE)
 
     # -- golden reference ---------------------------------------------------------
 
@@ -142,12 +160,14 @@ class AddressEngine:
     def run_call(self, config: EngineConfig, frame_a: Frame,
                  frame_b: Optional[Frame] = None,
                  max_cycles: Optional[int] = None,
-                 resident: Optional[List[bool]] = None) -> EngineRunResult:
+                 resident: Optional[List[bool]] = None,
+                 fast_path: Optional[bool] = None) -> EngineRunResult:
         """Simulate one AddressEngine call cycle by cycle.
 
         ``resident`` flags inputs already on the board from a previous
         call (call chaining): they are preloaded into their ZBT banks
-        and ship no DMA.
+        and ship no DMA.  ``fast_path`` overrides the engine-level
+        setting for this call.
         """
         frames = [frame_a]
         if config.mode is AddressingMode.INTER:
@@ -181,26 +201,25 @@ class AddressEngine:
 
         if max_cycles is None:
             max_cycles = 80 * config.fmt.pixels + 200_000
-        cycle = 0
-        while ilc.completion_cycle is None:
-            if cycle >= max_cycles:
-                raise EngineDeadlock(
-                    f"call did not complete within {max_cycles} cycles "
-                    f"(plc done={plc.done}, input={ilc.input_strips_done}, "
-                    f"readback={len(ilc.readback_words)}/"
-                    f"{ilc.readback_total_words})")
-            zbt.begin_cycle()
-            pci.tick(cycle)
-            for _ in range(self.input_txu_ticks_per_cycle):
-                for txu in input_txus:
-                    txu.tick()
-            ilc.control(cycle)
-            for _ in range(self.plc_ticks_per_cycle):
-                if not plc.done:
-                    plc.tick()
-            if output_txu is not None:
-                output_txu.tick()
-            cycle += 1
+        if fast_path is None:
+            fast_path = self.fast_path
+        use_fast = fast_path and self._fast_path_eligible(config)
+        if use_fast:
+            stepper = FastStepper(
+                config, frames, zbt, pci, iim, oim, pu, plc, input_txus,
+                output_txu, ilc, self.plc_ticks_per_cycle,
+                self.input_txu_ticks_per_cycle)
+            cycle = stepper.run(max_cycles)
+        else:
+            cycle = 0
+            while ilc.completion_cycle is None:
+                if cycle >= max_cycles:
+                    raise EngineDeadlock(deadlock_message(
+                        max_cycles, config, ilc, plc, pci, input_txus))
+                tick_engine_cycle(cycle, zbt, pci, input_txus, ilc, plc,
+                                  output_txu, self.plc_ticks_per_cycle,
+                                  self.input_txu_ticks_per_cycle)
+                cycle += 1
 
         result_frame, scalar = self._assemble_result(config, ilc)
         return EngineRunResult(
@@ -212,7 +231,8 @@ class AddressEngine:
             matrix_shifts=pu.matrix.shift_count,
             matrix_pixels_fetched=pu.matrix.pixels_fetched,
             input_complete_cycle=ilc.input_complete_cycle or 0,
-            completion_cycle=ilc.completion_cycle)
+            completion_cycle=ilc.completion_cycle,
+            fast_path_used=use_fast)
 
     @staticmethod
     def _assemble_result(config: EngineConfig,

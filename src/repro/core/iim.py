@@ -97,6 +97,68 @@ class LineStoreFifo:
             self._next_line_in = self._filling + 1
             self._filling = None
 
+    # -- batched fill (fast path) ------------------------------------------------
+
+    def acceptable_pixels(self) -> int:
+        """How many pixels :meth:`push_pixel` could take before the FULL
+        handshake would stall the transmission unit.
+
+        This is the fifo's "cycles until your next event" answer on the
+        fill side (divide by the fill rate): within that many pushes the
+        fifo's behaviour cannot change, ignoring any lines the scan may
+        release in the meantime (releases only *add* capacity, so the
+        answer is conservative and the batch stays exact).
+        """
+        free_lines = self.capacity_lines - len(self._lines)
+        if self._filling is not None:
+            return free_lines * self.width - self._fill_column
+        return free_lines * self.width
+
+    def fast_fill(self, line: int, column: int,
+                  lower: np.ndarray, upper: np.ndarray) -> None:
+        """Push ``len(lower)`` pixels of ``line`` starting at ``column``.
+
+        Batched equivalent of repeated :meth:`push_pixel` calls; the
+        segment must stay within one line, and the caller guarantees
+        capacity (the fast path caps its windows by
+        :meth:`acceptable_pixels`).
+        """
+        if self._filling is None:
+            if column != 0 or line != self._next_line_in:
+                raise RuntimeError(
+                    f"fast_fill expected line {self._next_line_in} column 0, "
+                    f"got line {line} column {column}")
+            if len(self._lines) >= self.capacity_lines:
+                raise RuntimeError("IIM overflow: no free line store")
+            self._filling = line
+            self._fill_buffer = (np.zeros(self.width, dtype=np.uint32),
+                                 np.zeros(self.width, dtype=np.uint32))
+            self._fill_column = 0
+        if self._filling != line or self._fill_column != column:
+            raise RuntimeError(
+                f"fast_fill expected line {self._filling} column "
+                f"{self._fill_column}, got line {line} column {column}")
+        count = len(lower)
+        low_buf, up_buf = self._fill_buffer
+        low_buf[column:column + count] = lower
+        up_buf[column:column + count] = upper
+        self._fill_column += count
+        if self._fill_column == self.width:
+            self._lines[self._filling] = self._fill_buffer
+            self._next_line_in = self._filling + 1
+            self._filling = None
+
+    def resident_range(self) -> Optional[Tuple[int, int]]:
+        """``(first, last)`` complete resident lines, or ``None`` if empty.
+
+        Lines enter in frame order and retire from the bottom, so the
+        resident set is always one contiguous range.
+        """
+        if not self._lines:
+            return None
+        lines = self._lines.keys()
+        return min(lines), max(lines)
+
     # -- read side (process unit stage 2) ---------------------------------------
 
     def lines_resident(self, first_line: int, last_line: int) -> bool:

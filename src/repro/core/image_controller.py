@@ -19,7 +19,7 @@ data transfers between PC and the coprocessor."*  Concretely it:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from .pci import DMAJob, PCIBus
 from .plc import PixelLevelController
 from .txu import InputTransmissionUnit, OutputTransmissionUnit
 from .zbt import ZBTMemory, ZBTLayout
+
+_INFINITE_HORIZON = 1 << 60
 
 
 class ImageLevelController:
@@ -81,6 +83,9 @@ class ImageLevelController:
         if len(resident) != len(frames):
             raise ValueError("one residency flag per input frame")
         words = [frame.to_words() for frame in frames]
+        #: Retained for the fast path: the exact word planes the DMA
+        #: writes to the board (and the transmission units later read).
+        self.input_words = words
         fmt = self.config.fmt
         for image, flag in enumerate(resident):
             if flag:
@@ -98,13 +103,15 @@ class ImageLevelController:
         """Place an already-on-board image into its banks (uncounted --
         the words were written by the previous call)."""
         fmt = self.config.fmt
-        from ..image.formats import STRIP_LINES
-        for y in range(fmt.height):
-            banks = self.layout.input_banks(image, y // STRIP_LINES)
-            for x in range(fmt.width):
-                address = self.layout.input_address(x, y)
-                self.zbt.poke(banks[0], address, int(lower[y, x]))
-                self.zbt.poke(banks[1], address, int(upper[y, x]))
+        for strip_index in range(fmt.strips):
+            first_line = strip_index * STRIP_LINES
+            last_line = min(first_line + STRIP_LINES, fmt.height)
+            banks = self.layout.input_banks(image, strip_index)
+            base = self.layout.input_address(0, first_line)
+            self.zbt.bulk_poke(banks[0], base,
+                               lower[first_line:last_line].reshape(-1))
+            self.zbt.bulk_poke(banks[1], base,
+                               upper[first_line:last_line].reshape(-1))
         self.input_strips_done[image] = fmt.strips
         self.input_txus[image].strips_available = fmt.strips
 
@@ -130,9 +137,32 @@ class ImageLevelController:
                 self._strip_arrived(image)
             return True
 
+        # Batched form: the strip occupies one contiguous address run per
+        # bank (lower words at even word indices, upper at odd), so a run
+        # of words splits into two contiguous bank writes.
+        base = self.layout.input_address(0, first_line)
+        lower_flat = lower[first_line:first_line + lines].reshape(-1)
+        upper_flat = upper[first_line:first_line + lines].reshape(-1)
+
+        def bulk_transfer(start: int, count: int) -> None:
+            end = start + count
+            even = start + (start & 1)
+            evens = (end - even + 1) // 2
+            if evens > 0:
+                pixel = even // 2
+                self.zbt.bulk_write(banks[0], base + pixel,
+                                    lower_flat[pixel:pixel + evens])
+            odd = start + 1 - (start & 1)
+            odds = (end - odd + 1) // 2
+            if odds > 0:
+                pixel = odd // 2
+                self.zbt.bulk_write(banks[1], base + pixel,
+                                    upper_flat[pixel:pixel + odds])
+
         return DMAJob(label=f"in:img{image}:strip{strip_index}",
                       total_words=total_words,
-                      transfer_word=transfer_word, to_board=True)
+                      transfer_word=transfer_word, to_board=True,
+                      bulk_transfer=bulk_transfer, banks=banks)
 
     def _strip_arrived(self, image: int) -> None:
         self.input_strips_done[image] += 1
@@ -189,7 +219,8 @@ class ImageLevelController:
             job = DMAJob(label="out:result-image",
                          total_words=self.readback_total_words,
                          transfer_word=self._read_result_word,
-                         to_board=False)
+                         to_board=False,
+                         bulk_transfer=self._bulk_read_result)
         else:
             # Scalar reduce result: two words (64-bit accumulator), ready
             # only once every pixel-cycle has retired.
@@ -215,6 +246,50 @@ class ImageLevelController:
             return False
         self.readback_words.append(self.zbt.read(bank, local))
         return True
+
+    def _bulk_read_result(self, start: int, count: int) -> None:
+        """Batched form of :meth:`_read_result_word` for a run of words
+        the fast path has proven available within a single result bank."""
+        if start < self._bank_a_words_final:
+            slot, local = 0, start
+        else:
+            slot, local = 1, start - self._bank_a_words_final
+        bank = self.layout.result_bank(slot == 1)
+        values = self.zbt.bulk_read(bank, local, count)
+        self.readback_words.extend(values.tolist())
+
+    def fast_readback_horizon(self) -> Tuple[str, int]:
+        """``(state, horizon_cycles)`` for the active readback DMA job.
+
+        ``state`` is ``"words"`` (the bus streams result words every
+        cycle), ``"stalled"`` (the scalar result is not retired yet), or
+        ``"bridge"`` (an arbitration decision is near: the producer is
+        still writing the bank the readback would touch, or the job is on
+        its final word) -- the fast path simulates bridges cycle by cycle.
+        """
+        job = self.pci.active_job
+        assert job is not None and not job.to_board
+        if not self.config.produces_image:
+            if not self.plc.done:
+                return "stalled", _INFINITE_HORIZON
+            return "bridge", 0
+        remaining = job.total_words - job.words_done - 1
+        if remaining <= 0:
+            return "bridge", 0
+        txu = self.output_txu
+        assert txu is not None
+        if job.words_done < self._bank_a_words_final:
+            available = self._bank_a_words_final - job.words_done
+            return "words", min(available, remaining)
+        # Bank B: the readback chases the producer on the same bank, so
+        # any overlap is a per-port arbitration regime -- bridge it.
+        if not (self.plc.done and txu.oim.empty):
+            return "bridge", 0
+        local = job.words_done - self._bank_a_words_final
+        available = txu.bank_words[1] - local
+        if available <= 0:
+            return "bridge", 0
+        return "words", min(available, remaining)
 
     def _read_scalar_word(self, word_index: int) -> bool:
         if not self.plc.done:

@@ -16,7 +16,7 @@ difference; its FULL signal back-pressures the pixel level controller.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque, List, Tuple
 
 
 class OutputIntermediateMemory:
@@ -79,6 +79,38 @@ class OutputIntermediateMemory:
         if not self._queue:
             raise RuntimeError("OIM underflow")
         return self._queue.popleft()
+
+    # -- batched (fast-path) access --------------------------------------------
+
+    def fast_push(self, pixels: List[Tuple[int, int, int]],
+                  intra_window_peak: int) -> None:
+        """Append a run of result pixels in one call.
+
+        ``intra_window_peak`` is the highest occupancy the per-cycle
+        interleaving of pushes and pops would have reached inside the
+        batched window (pushes land before the same cycle's pop); the
+        fast path computes it in closed form so the high-water mark stays
+        cycle-exact.
+        """
+        if intra_window_peak > self.capacity_pixels:
+            raise RuntimeError("OIM overflow: fast-path window too wide")
+        self._queue.extend(pixels)
+        self.peak_occupancy = max(self.peak_occupancy, intra_window_peak)
+
+    def fast_pop(self, count: int) -> None:
+        """Drop the ``count`` oldest result pixels.
+
+        The fast path already knows their values (the result stream is
+        precomputed), so only the occupancy bookkeeping remains.
+        """
+        if count > len(self._queue):
+            raise RuntimeError("OIM underflow: fast-path window too wide")
+        if count == len(self._queue):
+            self._queue.clear()
+        else:
+            popleft = self._queue.popleft
+            for _ in range(count):
+                popleft()
 
     def reset(self) -> None:
         self._queue.clear()

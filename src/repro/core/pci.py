@@ -32,6 +32,9 @@ PCI_PEAK_BYTES_PER_SECOND = PCI_CLOCK_HZ * (PCI_WORD_BITS // 8)
 #: Calibrated so whole-call times land near Table 3 (see DESIGN.md).
 DEFAULT_JOB_OVERHEAD_CYCLES = 64
 
+#: "No event ahead" sentinel for the fast-path horizon queries.
+_INFINITE_HORIZON = 1 << 60
+
 
 @dataclass
 class DMAJob:
@@ -49,6 +52,15 @@ class DMAJob:
     to_board: bool = True
     words_done: int = 0
     overhead_remaining: int = 0
+    #: Optional batched form of ``transfer_word``: ``bulk_transfer(start,
+    #: count)`` performs the side effects of words ``[start, start+count)``
+    #: in one call.  The fast-path stepper uses it for runs of cycles it
+    #: has proven stall-free; the final word of a job always goes through
+    #: ``transfer_word`` so completion callbacks fire from real code.
+    bulk_transfer: Optional[Callable[[int, int], None]] = None
+    #: The ZBT bank pair an input job writes (for the fast path's
+    #: DMA/transmission-unit contention planning).
+    banks: Optional[Tuple[int, int]] = None
 
     @property
     def complete(self) -> bool:
@@ -136,6 +148,64 @@ class PCIBus:
             self.raise_interrupt(cycle, f"dma_done:{job.label}")
             self._active = None
         return job, index
+
+    # -- batched (fast-path) behaviour -------------------------------------------
+
+    def activate_next_job(self) -> Optional[DMAJob]:
+        """Promote the queue head to active without burning a cycle.
+
+        :meth:`tick` pops and processes the head within the same cycle, so
+        doing the pop eagerly at a batch-window boundary changes nothing
+        observable; it lets the fast path plan against the real job.
+        """
+        if self._active is None and self._queue:
+            self._active = self._queue.popleft()
+        return self._active
+
+    def fast_event_horizon(self) -> int:
+        """Cycles until the bus can next change behaviour on its own.
+
+        This is the PCI component's "how many cycles until your next
+        event" answer: within the returned horizon the bus keeps doing
+        whatever it is doing this cycle (idling, paying job overhead, or
+        streaming words), and the *last* word of a job is excluded so it
+        always runs through :meth:`tick` (interrupts, completion
+        callbacks).  A return of 0 means the next cycle must be simulated
+        for real.
+        """
+        job = self.activate_next_job()
+        if job is None:
+            return _INFINITE_HORIZON
+        if job.overhead_remaining > 0:
+            return job.overhead_remaining
+        return job.total_words - job.words_done - 1
+
+    def fast_advance_idle(self, cycles: int) -> None:
+        self.idle_cycles += cycles
+
+    def fast_advance_overhead(self, cycles: int) -> None:
+        job = self._active
+        assert job is not None and job.overhead_remaining >= cycles
+        job.overhead_remaining -= cycles
+        self.overhead_cycles += cycles
+
+    def fast_advance_stalled(self, cycles: int) -> None:
+        """The active job is waiting on data (e.g. the scalar result)."""
+        self.stall_cycles += cycles
+
+    def fast_advance_words(self, cycles: int) -> None:
+        """Move ``cycles`` words of the active job in one batch."""
+        job = self._active
+        assert job is not None and job.overhead_remaining == 0
+        assert job.words_done + cycles < job.total_words
+        if job.bulk_transfer is not None:
+            job.bulk_transfer(job.words_done, cycles)
+        job.words_done += cycles
+        self.busy_cycles += cycles
+        if job.to_board:
+            self.words_to_board += cycles
+        else:
+            self.words_to_host += cycles
 
     # -- reporting -----------------------------------------------------------------
 

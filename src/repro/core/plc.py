@@ -29,6 +29,13 @@ from typing import Dict, Optional, Tuple
 from .instructions import Instruction, InstructionKind
 from .process_unit import PixelBundle, ProcessUnit, ResultPixel
 
+#: Fast-path boundary classifications (see :meth:`PixelLevelController.fast_mode`).
+PLC_DONE = "done"
+PLC_FLOW = "flow"
+PLC_FROZEN_IIM = "frozen_iim"
+PLC_FROZEN_DISABLED = "frozen_disabled"
+PLC_IRREGULAR = "irregular"
+
 
 class ArbiterConflict(RuntimeError):
     """Two same-cycle instructions claimed one Process Unit resource."""
@@ -118,6 +125,71 @@ class PixelLevelController:
         return (self._s1 is not None, self._s2 is not None,
                 self._s3 is not None,
                 self._s4 is not None or self._s4_is_reduce_retire)
+
+    # -- batched (fast-path) behaviour ------------------------------------------
+
+    @property
+    def fast_flow_rate(self) -> int:
+        """Pixel-cycles issued/fetched/retired per *engine cycle* (two
+        ticks) in the steady FLOW regime: 2 for single-cycle operations,
+        1 for two-cycle operations (the stage-3 countdown halves the
+        throughput).  Only meaningful for ``engine_cycles <= 2``."""
+        return 2 if self.pu.config.op.engine_cycles == 1 else 1
+
+    def fast_mode(self) -> str:
+        """Classify the pipeline state at an engine-cycle boundary.
+
+        The fast path may batch-advance only the recognised steady
+        signatures; anything else (warm-up, drain, mixed stalls, OIM
+        back-pressure) returns :data:`PLC_IRREGULAR` and is simulated
+        cycle by cycle.  The signatures below are exactly the states the
+        per-cycle :meth:`tick` reproduces after each full engine cycle of
+        the corresponding regime, hand-traced for ``engine_cycles`` 1 and
+        2 -- which is what makes the batched counter updates exact.
+        """
+        if self.done:
+            return PLC_DONE
+        s1, s2, s3, s4 = self._s1, self._s2, self._s3, self._s4
+        flag = self._s4_is_reduce_retire
+        if (self.enabled and s1 is not None and s2 is not None
+                and s3 is not None and s3.cycles_remaining == 1
+                and s2.pixel_cycle == s1.pixel_cycle - 1
+                and s3.bundle.pixel_cycle == s1.pixel_cycle - 2):
+            cycles = self.pu.config.op.engine_cycles
+            if cycles == 1:
+                if self.pu.config.reduce_to_scalar:
+                    if s4 is None and flag:
+                        return PLC_FLOW
+                elif s4 is not None and not flag \
+                        and s4.pixel_cycle == s1.pixel_cycle - 3:
+                    return PLC_FLOW
+            elif cycles == 2 and s4 is None and not flag:
+                return PLC_FLOW
+        if s3 is None and s4 is None and not flag:
+            if (s2 is not None and not self.pu.stage2_ready(s2.position)
+                    and (s1 is not None or self.pu.scan.exhausted)):
+                return PLC_FROZEN_IIM
+            if (s1 is None and s2 is None and not self.enabled
+                    and not self.pu.scan.exhausted):
+                return PLC_FROZEN_DISABLED
+        return PLC_IRREGULAR
+
+    def fast_advance_frozen(self, cycles: int, mode: str,
+                            ticks_per_cycle: int) -> None:
+        """Account ``cycles`` engine cycles of a frozen regime.
+
+        Frozen pipelines make no progress: every tick lands on the same
+        stall counter (stage 2's IIM wait, or stage 1's disable stall),
+        exactly as ``ticks_per_cycle`` calls to :meth:`tick` would.
+        """
+        ticks = cycles * ticks_per_cycle
+        self.stats.cycles += ticks
+        if mode == PLC_FROZEN_IIM:
+            self.stats.stall_iim_wait += ticks
+        elif mode == PLC_FROZEN_DISABLED:
+            self.stats.stall_disabled += ticks
+        else:
+            raise ValueError(f"not a frozen mode: {mode}")
 
     # -- one clock ---------------------------------------------------------------
 

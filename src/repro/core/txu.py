@@ -18,10 +18,23 @@ and the IIM structure."*
 
 from __future__ import annotations
 
+from typing import Tuple
+
+import numpy as np
+
 from ..image.formats import STRIP_LINES
 from .iim import LineStoreFifo
 from .oim import OutputIntermediateMemory
 from .zbt import ZBTMemory, ZBTLayout
+
+#: Fast-path plan states for an input transmission unit (see
+#: :meth:`InputTransmissionUnit.fast_plan`).
+TXU_DONE = "done"
+TXU_NO_STRIP = "no_strip"
+TXU_FIFO_FULL = "fifo_full"
+TXU_MOVING = "moving"
+
+_INFINITE_HORIZON = 1 << 60
 
 
 class InputTransmissionUnit:
@@ -72,6 +85,101 @@ class InputTransmissionUnit:
             self._column = 0
             self._line += 1
         return True
+
+    # -- batched (fast-path) behaviour ------------------------------------------
+
+    @property
+    def current_banks(self) -> Tuple[int, int]:
+        """The bank pair the unit reads from at its current position."""
+        return self.layout.input_banks(self.image, self._line // STRIP_LINES)
+
+    def pixels_until_line_complete(self, target_line: int) -> int:
+        """Pixels this unit must still move to finish ``target_line``.
+
+        The PLC-side "cycles until unfreeze" query: a stage-2 fetch
+        waiting on ``target_line`` becomes ready once this many pixels
+        have streamed into the IIM (divide by the fill rate for cycles).
+        """
+        if self._line > target_line:
+            return 0
+        return ((target_line + 1 - self._line) * self.layout.fmt.width
+                - self._column)
+
+    def fast_plan(self, contended: bool) -> Tuple[str, int, int]:
+        """``(state, horizon_cycles, pixels_per_cycle)`` for a batch window.
+
+        Within ``horizon_cycles`` the unit's behaviour is uniform: every
+        cycle it either stalls for the same reason or moves
+        ``pixels_per_cycle`` pixels.  ``contended`` flags an active input
+        DMA burst on this unit's bank pair, which leaves exactly one port
+        operation per bank for the unit -- one pixel per cycle instead of
+        two (the second tick stalls on the busy bank).
+
+        The horizon is conservative: it stops at the end of the current
+        strip (bank pair and address run change there) and at the IIM's
+        current free capacity, ignoring lines the scan may release
+        mid-window.
+        """
+        if self.done:
+            return TXU_DONE, _INFINITE_HORIZON, 0
+        strip_index = self._line // STRIP_LINES
+        if strip_index >= self.strips_available:
+            return TXU_NO_STRIP, _INFINITE_HORIZON, 0
+        acceptable = self.fifo.acceptable_pixels()
+        if acceptable == 0:
+            return TXU_FIFO_FULL, _INFINITE_HORIZON, 0
+        fmt = self.layout.fmt
+        strip_end_line = min((strip_index + 1) * STRIP_LINES, fmt.height)
+        to_strip_end = (strip_end_line - self._line) * fmt.width - self._column
+        rate = 1 if contended else 2
+        horizon = min(acceptable, to_strip_end) // rate
+        if contended:
+            # At rate 1 the cycle that moves the cap's last pixel probes
+            # past the cap on its second tick (next strip, or the FIFO it
+            # just filled) -- not uniform, so leave that cycle bridged.
+            horizon -= 1
+        return TXU_MOVING, horizon, rate
+
+    def fast_advance_stalled(self, cycles: int, state: str,
+                             ticks_per_cycle: int) -> None:
+        stalls = cycles * ticks_per_cycle
+        if state == TXU_NO_STRIP:
+            self.stall_no_strip += stalls
+        elif state == TXU_FIFO_FULL:
+            self.stall_iim_full += stalls
+        else:
+            raise ValueError(f"not a stalled fast-plan state: {state}")
+
+    def fast_advance_moving(self, cycles: int, rate: int,
+                            lower: np.ndarray, upper: np.ndarray) -> None:
+        """Move ``cycles * rate`` pixels ZBT -> IIM in one batch.
+
+        ``lower``/``upper`` are the image's full word planes (the same
+        values the DMA wrote into the ZBT banks, which is what makes the
+        bulk copy equivalent to the per-cycle reads).
+        """
+        pixels = cycles * rate
+        width = self.layout.fmt.width
+        banks = self.current_banks
+        self.zbt.count_accesses(banks[0], reads=pixels)
+        self.zbt.count_accesses(banks[1], reads=pixels)
+        self.zbt.count_pixel_ops(pixels)
+        remaining = pixels
+        while remaining:
+            take = min(remaining, width - self._column)
+            row, col = self._line, self._column
+            self.fifo.fast_fill(row, col,
+                                lower[row, col:col + take],
+                                upper[row, col:col + take])
+            self._column += take
+            if self._column == width:
+                self._column = 0
+                self._line += 1
+            remaining -= take
+        self.pixels_moved += pixels
+        if rate == 1:
+            # Tick 1 moves, tick 2 finds the DMA-shared bank exhausted.
+            self.stall_bank_busy += cycles
 
 
 class OutputTransmissionUnit:
@@ -128,3 +236,38 @@ class OutputTransmissionUnit:
         self._bank_pixel_index[slot] += 1
         self.pixels_written += 1
         return True
+
+    # -- batched (fast-path) behaviour ------------------------------------------
+
+    @property
+    def active_bank(self) -> int:
+        return self.layout.result_bank(self._switched)
+
+    def fast_advance_empty(self, cycles: int) -> None:
+        self.stall_oim_empty += cycles
+
+    def fast_advance_draining(self, cycles: int, res_lower: np.ndarray,
+                              res_upper: np.ndarray) -> None:
+        """Write ``cycles`` result pixels (two words each) in one batch.
+
+        Result pixels leave the OIM in scan order, so the next ``cycles``
+        pixels are ``res_lower/res_upper[pixels_written :]`` of the
+        precomputed result stream.  The caller has verified the OIM holds
+        (or receives in-window, ahead of each pop) enough pixels and that
+        the result bank is free of readback traffic.
+        """
+        slot = self._active_slot
+        bank = self.active_bank
+        start = self.pixels_written
+        base = self._bank_pixel_index[slot]
+        self.layout.result_address(base + cycles - 1, 1)  # overflow check
+        words = np.empty(cycles * 2, dtype=np.uint32)
+        words[0::2] = res_lower[start:start + cycles]
+        words[1::2] = res_upper[start:start + cycles]
+        self.zbt.bulk_write(bank, base * 2, words)
+        self.zbt.count_pixel_ops(cycles)
+        self.oim.fast_pop(cycles)
+        self.words_written += cycles * 2
+        self.bank_words[slot] += cycles * 2
+        self._bank_pixel_index[slot] += cycles
+        self.pixels_written += cycles

@@ -141,7 +141,59 @@ class ZBTMemory:
         """Record one pixel-granular access operation (Table 2's metric)."""
         self.pixel_ops += 1
 
+    # -- batched (fast-path) access --------------------------------------------
+
+    def bulk_write(self, bank: int, start_address: int,
+                   values: np.ndarray) -> None:
+        """Write a contiguous run of words in one call (fast-path batch).
+
+        Counts every word exactly like :meth:`write` but bypasses the
+        per-cycle port budget: the fast-path stepper only issues bulk
+        operations for windows whose schedulability it has already
+        proven, so the per-cycle conflict check is vacuous there.
+        """
+        count = len(values)
+        if count == 0:
+            return
+        self._banks[bank][start_address:start_address + count] = values
+        self.stats[bank].writes += count
+        self.word_accesses += count
+
+    def bulk_read(self, bank: int, start_address: int,
+                  count: int) -> np.ndarray:
+        """Read a contiguous run of words in one call (fast-path batch).
+
+        Counting mirrors :meth:`read`; see :meth:`bulk_write` for why the
+        port budget does not apply.
+        """
+        if count:
+            self.stats[bank].reads += count
+            self.word_accesses += count
+        return self._banks[bank][start_address:start_address + count]
+
+    def count_accesses(self, bank: int, reads: int = 0,
+                       writes: int = 0) -> None:
+        """Account accesses whose data moved through a bulk side channel
+        (e.g. the transmission units' frame-array fills)."""
+        self.stats[bank].reads += reads
+        self.stats[bank].writes += writes
+        self.word_accesses += reads + writes
+
+    def count_access_cycles(self, cycles: int) -> None:
+        """Account ``cycles`` engine cycles that each performed at least
+        one memory access (the fast path adds these per batched window)."""
+        self.access_cycles += cycles
+
+    def count_pixel_ops(self, count: int) -> None:
+        """Batched form of :meth:`count_pixel_op`."""
+        self.pixel_ops += count
+
     # -- uncounted debug access ----------------------------------------------
+
+    def bulk_poke(self, bank: int, start_address: int,
+                  values: np.ndarray) -> None:
+        """Uncounted contiguous write, for resident-frame preloads."""
+        self._banks[bank][start_address:start_address + len(values)] = values
 
     def peek(self, bank: int, address: int) -> int:
         """Uncounted word read, for assertions in tests."""

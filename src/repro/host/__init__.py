@@ -2,7 +2,8 @@
 
 from .backend import EngineBackend
 from .backend_v2 import EngineBackendV2
-from .driver import AddressEngineDriver, DriverResult
+from .driver import (AddressEngineDriver, DriverResult,
+                     FrameResidencyCache)
 from .runtime import (RunReport, Runtime, engine_platform,
                       software_platform)
 
@@ -10,6 +11,7 @@ __all__ = [
     "AddressEngineDriver",
     "DriverResult",
     "EngineBackend",
+    "FrameResidencyCache",
     "EngineBackendV2",
     "RunReport",
     "Runtime",

@@ -17,7 +17,7 @@ from ..addresslib.library import Backend, CallRecord
 from ..addresslib.ops import ChannelSet, InterOp, IntraOp
 from ..core.config import EngineConfig, inter_config, intra_config
 from ..image.frame import Frame
-from .driver import AddressEngineDriver
+from .driver import AddressEngineDriver, FrameResidencyCache
 
 
 class EngineBackend(Backend):
@@ -42,10 +42,8 @@ class EngineBackend(Backend):
         #: (section 4.1's "special inter operations").
         self.special_inter_ops = frozenset(special_inter_ops)
         self.chain_frames = chain_frames
-        #: On-board state: layout kind, per-slot input ids, result id.
-        self._board_kind: Optional[int] = None
-        self._board_inputs: Tuple[int, ...] = ()
-        self._board_result: Optional[int] = None
+        #: On-board state between calls (strong-referenced frames).
+        self.residency = FrameResidencyCache()
 
     def supports(self, mode: AddressingMode) -> bool:
         return mode.engine_supported_v1
@@ -57,29 +55,12 @@ class EngineBackend(Backend):
         reusing the previous result as an input."""
         if not self.chain_frames:
             return [False] * len(frames), 0
-        flags = []
-        copy_cycles = 0
-        same_layout = self._board_kind == config.images_in
-        for slot, frame in enumerate(frames):
-            if (same_layout and slot < len(self._board_inputs)
-                    and self._board_inputs[slot] == id(frame)):
-                flags.append(True)          # still in its input banks
-            elif self._board_result == id(frame):
-                # Result banks -> input banks: the TxUs move one pixel
-                # per cycle in each direction, two in flight.
-                copy_cycles += -(-config.fmt.pixels // 2)
-                flags.append(True)
-            else:
-                flags.append(False)
-        return flags, copy_cycles
+        return self.residency.plan(config, frames)
 
     def _after_call(self, config, frames, result_frame) -> None:
         if not self.chain_frames:
             return
-        self._board_kind = config.images_in
-        self._board_inputs = tuple(id(frame) for frame in frames)
-        self._board_result = (id(result_frame)
-                              if result_frame is not None else None)
+        self.residency.record_call(config, frames, result_frame)
 
     def _submit(self, config, frames):
         resident, copy_cycles = self._residency(config, frames)

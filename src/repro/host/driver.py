@@ -16,12 +16,82 @@ back to the application.  Two execution strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.config import EngineConfig
 from ..core.engine import AddressEngine, EngineRunResult
 from ..image.frame import Frame
 from ..perf.timing import EngineTimingModel
+
+
+class FrameResidencyCache:
+    """Tracks which frames are resident in the board's ZBT banks.
+
+    One board call leaves its inputs in their input banks and its result
+    in a result bank; a follow-up call that reuses one of those frames
+    can skip the PCI upload (``resident`` flag) or pay a cheap on-board
+    result-to-input copy instead of a host round trip.
+
+    The cache key is the board layout (``images_in`` decides the bank
+    map), the per-slot input frames, and the result frame.  Frames are
+    held by *strong reference* and compared by identity: a frame object
+    that is still alive is exactly the data in the banks, and holding
+    the reference guarantees a recycled ``id()`` can never alias a
+    garbage-collected predecessor.
+    """
+
+    def __init__(self) -> None:
+        self._layout_kind: Optional[int] = None
+        self._inputs: Tuple[Frame, ...] = ()
+        self._result: Optional[Frame] = None
+        #: Inputs found still resident in their input banks.
+        self.hits = 0
+        #: Inputs satisfied by an on-board result-to-input copy.
+        self.result_reuses = 0
+        #: Inputs that had to ship over the PCI bus.
+        self.misses = 0
+
+    def plan(self, config: EngineConfig,
+             frames: List[Frame]) -> Tuple[List[bool], int]:
+        """Residency flags for ``frames`` plus the cycle cost of on-board
+        result reuse.
+
+        An input is resident only in the *same slot* of the *same
+        layout*: the bank map differs between intra (strips alternate
+        bank pairs) and inter (one pair per image), and between slots.
+        Reusing the previous call's result costs a result-bank to
+        input-bank move: the transmission units stream one pixel per
+        cycle in each direction, two in flight.
+        """
+        flags: List[bool] = []
+        copy_cycles = 0
+        same_layout = self._layout_kind == config.images_in
+        for slot, frame in enumerate(frames):
+            if (same_layout and slot < len(self._inputs)
+                    and self._inputs[slot] is frame):
+                flags.append(True)
+                self.hits += 1
+            elif self._result is frame:
+                copy_cycles += -(-config.fmt.pixels // 2)
+                flags.append(True)
+                self.result_reuses += 1
+            else:
+                flags.append(False)
+                self.misses += 1
+        return flags, copy_cycles
+
+    def record_call(self, config: EngineConfig, frames: List[Frame],
+                    result_frame: Optional[Frame]) -> None:
+        """Remember what the call just left in the banks."""
+        self._layout_kind = config.images_in
+        self._inputs = tuple(frames)
+        self._result = result_frame
+
+    def invalidate(self) -> None:
+        """Forget the board state (e.g. after a reconfiguration)."""
+        self._layout_kind = None
+        self._inputs = ()
+        self._result = None
 
 
 @dataclass

@@ -69,6 +69,42 @@ class TestResidencyDetection:
         assert lib.log.records[-1].extra["resident_inputs"] == 0
 
 
+class TestFrameResidencyCache:
+    def test_counters_classify_each_input(self, frames):
+        lib = chained_lib()
+        a, b = frames
+        lib.inter_reduce(INTER_ABSDIFF, a, b)      # both miss
+        lib.inter_reduce(INTER_ABSDIFF, a, b)      # both hit
+        cache = lib.backend.residency
+        assert cache.misses == 2
+        assert cache.hits == 2
+        assert cache.result_reuses == 0
+
+    def test_result_reuse_counter(self, frames):
+        lib = chained_lib()
+        frame, _ = frames
+        edges = lib.intra(INTRA_GRAD, frame)
+        lib.intra(INTRA_BOX3, edges)
+        assert lib.backend.residency.result_reuses == 1
+
+    def test_identity_not_equality(self, frames):
+        """An equal-valued copy is different memory: it must ship."""
+        lib = chained_lib()
+        frame, _ = frames
+        lib.intra(INTRA_GRAD, frame)
+        clone = noise_frame(FMT, seed=61)           # same pixels, new object
+        lib.intra(INTRA_GRAD, clone)
+        assert lib.log.records[-1].extra["resident_inputs"] == 0
+
+    def test_invalidate_forgets_board_state(self, frames):
+        lib = chained_lib()
+        frame, _ = frames
+        lib.intra(INTRA_GRAD, frame)
+        lib.backend.residency.invalidate()
+        lib.intra(INTRA_BOX3, frame)
+        assert lib.log.records[-1].extra["resident_inputs"] == 0
+
+
 class TestChainedTiming:
     def test_resident_call_is_cheaper(self, frames):
         lib = chained_lib()
