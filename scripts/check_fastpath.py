@@ -1,13 +1,22 @@
-"""Ad-hoc fast-path vs per-cycle equivalence sweep (development aid)."""
+"""Ad-hoc fast-path vs per-cycle equivalence sweep (development aid).
+
+Besides cycle-exact state equivalence, every case also checks that the
+static analyzer's fast-path prediction
+(:func:`repro.analysis.predict_fast_path`) agrees with the dispatch
+decision the engine actually took -- one source of truth for the
+eligibility regime, enforced here and in the integration suite.
+"""
 import sys
 import time
 
 from repro.addresslib import INTER_OPS, INTRA_OPS
+from repro.analysis import EngineParams, predict_fast_path
 from repro.core import AddressEngine, inter_config, intra_config
 from repro.image import ImageFormat, noise_frame
 
 FAST = AddressEngine(fast_path=True)
 SLOW = AddressEngine(fast_path=False)
+FAST_PARAMS = EngineParams.from_engine(FAST)
 
 
 def snap(run):
@@ -55,6 +64,13 @@ def compare(label, config, *frames, resident=None):
     if slow.frame is not None and not slow.frame.equals(fast.frame):
         ok = False
         print(f"FAIL {label}: frame mismatch")
+    prediction = predict_fast_path(config, FAST_PARAMS)
+    if prediction.eligible != fast.fast_path_used:
+        ok = False
+        print(f"FAIL {label}: analyzer predicted "
+              f"eligible={prediction.eligible} "
+              f"(reasons={prediction.reasons}) but engine used "
+              f"fast_path={fast.fast_path_used}")
     status = "ok " if ok else "BAD"
     print(f"{status} {label}: cycles={slow.cycles} fast_used="
           f"{fast.fast_path_used} slow={t1-t0:.2f}s fast={t2-t1:.2f}s "

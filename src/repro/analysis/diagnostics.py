@@ -1,0 +1,128 @@
+"""Diagnostic primitives of the AddressCheck static verifier.
+
+A diagnostic is one finding about a call program: a stable rule id
+(``CAP001``), a severity, a human message and -- when known -- the step
+and source location it refers to.  :class:`AnalysisReport` aggregates
+the findings of one analyzer run; :class:`ProgramCheckError` is what the
+host driver's pre-flight hook raises when a report contains errors.
+
+This module is dependency-light on purpose: importing it (or anything
+that only needs it) must not load the cycle-level engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    * ``ERROR`` -- the engine model cannot execute the call (capacity
+      overflow, guaranteed deadlock, malformed dataflow);
+    * ``WARNING`` -- executable but almost certainly unintended
+      (dead stores, redundant transfers);
+    * ``INFO`` -- advisory facts the caller may care about (fast-path
+      fallback predictions, partial final strips).
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, ready for printing or asserting."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Index of the program step the finding refers to, if any.
+    step_index: Optional[int] = None
+    #: Short step description ("inter inter_absdiff(in0, in1)").
+    step_label: str = ""
+    #: Source location string ("compositions.py:119"), if known.
+    location: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as one ``severity RULE [context]: message`` line."""
+        context = []
+        if self.step_index is not None:
+            context.append(f"step {self.step_index}")
+        if self.location:
+            context.append(str(self.location))
+        where = f" [{', '.join(context)}]" if context else ""
+        return f"{self.severity} {self.rule_id}{where}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run over one call program."""
+
+    program_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, findings: List[Diagnostic]) -> None:
+        self.diagnostics.extend(findings)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the program is safe to dispatch (no errors)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        return (f"{self.program_name}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), "
+                f"{len(self.infos)} info(s)")
+
+    def format(self) -> str:
+        """Multi-line rendering: summary plus one line per finding."""
+        lines = [self.summary()]
+        lines.extend(d.format() for d in sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.step_index or 0, d.rule_id)))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FastPathPrediction:
+    """Static prediction of the engine's fast-path dispatch decision."""
+
+    #: Whether :meth:`AddressEngine.run_call` will use the batched
+    #: stepper (mirrors ``EngineRunResult.fast_path_used``).
+    eligible: bool
+    #: Fallback reason codes (:mod:`repro.core.constraints` FALLBACK_*),
+    #: empty when eligible.
+    reasons: Tuple[str, ...] = ()
+
+
+class ProgramCheckError(RuntimeError):
+    """A pre-flight analysis found errors; the call was not dispatched."""
+
+    def __init__(self, report: AnalysisReport) -> None:
+        super().__init__(report.format())
+        self.report = report

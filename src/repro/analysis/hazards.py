@@ -1,0 +1,155 @@
+"""Program-level dataflow rules (HAZ001-HAZ006).
+
+These rules see the whole :class:`~repro.addresslib.program.CallProgram`
+at once: which plane every step reads and writes, in order.  They need
+no engine parameters -- a dataflow hazard is wrong on any engine.
+
+The residency rule (HAZ003) mirrors the host's
+:class:`~repro.host.driver.FrameResidencyCache` semantics: an input may
+claim residency only if the *immediately preceding* step left exactly
+that plane in the bank pair the new call will read -- same layout kind
+(intra strips alternate block_A/block_B bank pairs; inter gives each
+image its own pair) and same input slot, or the previous step's result.
+A stale claim makes the engine read banks the data never reached: the
+strip read-before-write failure of the double-buffered layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..addresslib.addressing import AddressingMode
+from ..addresslib.program import CallProgram, ProgramStep
+from ..image.formats import ImageFormat
+from .diagnostics import Diagnostic
+from .rules import _diag
+
+
+def _loc(step: ProgramStep) -> Optional[str]:
+    return str(step.location) if step.location is not None else None
+
+
+def dataflow_rules(program: CallProgram) -> List[Diagnostic]:
+    """Check every step's reads, writes and residency claims in order."""
+    findings: List[Diagnostic] = []
+    written: Set[str] = set(program.inputs)
+    plane_formats: Dict[str, ImageFormat] = {
+        name: program.fmt for name in program.inputs}
+    reads: Dict[str, int] = {}
+    prev_step: Optional[ProgramStep] = None
+
+    for step in program.steps:
+        label = step.describe
+        for name in step.inputs:
+            if name not in written:
+                findings.append(_diag(
+                    "HAZ001",
+                    f"reads plane '{name}' which no earlier step wrote "
+                    f"and which is not a program input",
+                    step_index=step.index, step_label=label,
+                    location=_loc(step)))
+            else:
+                produced_fmt = plane_formats.get(name)
+                if produced_fmt is not None and produced_fmt != step.fmt:
+                    findings.append(_diag(
+                        "HAZ006",
+                        f"plane '{name}' was produced as "
+                        f"{produced_fmt.name} "
+                        f"({produced_fmt.width}x{produced_fmt.height}) "
+                        f"but is consumed as {step.fmt.name} "
+                        f"({step.fmt.width}x{step.fmt.height})",
+                        step_index=step.index, step_label=label,
+                        location=_loc(step)))
+            reads[name] = reads.get(name, 0) + 1
+        if step.output is not None and step.output in step.inputs:
+            findings.append(_diag(
+                "HAZ002",
+                f"writes plane '{step.output}' in place while reading "
+                f"it: the engine streams the result to the result banks "
+                f"while the input banks are still being consumed, so "
+                f"the host buffer would tear",
+                step_index=step.index, step_label=label,
+                location=_loc(step)))
+        if (step.mode is AddressingMode.INTER and len(step.inputs) == 2
+                and step.inputs[0] == step.inputs[1]):
+            findings.append(_diag(
+                "HAZ004",
+                f"both inter inputs are plane '{step.inputs[0]}': the "
+                f"same data ships over the PCI twice (bank pairs 0/1 "
+                f"and 2/3 each get a copy)",
+                step_index=step.index, step_label=label,
+                location=_loc(step)))
+        findings.extend(_residency_rules(step, prev_step, label))
+        if step.output is not None:
+            written.add(step.output)
+            plane_formats[step.output] = step.fmt
+        prev_step = step
+
+    findings.extend(_dead_store_rules(program, reads))
+    return findings
+
+
+def _residency_rules(step: ProgramStep, prev_step: Optional[ProgramStep],
+                     label: str) -> List[Diagnostic]:
+    """HAZ003: validate each ``resident=True`` claim against the banks
+    the previous step actually left behind."""
+    if step.resident is None or not any(step.resident):
+        return []
+    findings: List[Diagnostic] = []
+    if len(step.resident) != len(step.inputs):
+        findings.append(_diag(
+            "HAZ003",
+            f"resident flags ({len(step.resident)}) do not match the "
+            f"step's {len(step.inputs)} input(s)",
+            step_index=step.index, step_label=label, location=_loc(step)))
+        return findings
+    for slot, (name, claimed) in enumerate(zip(step.inputs,
+                                               step.resident)):
+        if not claimed:
+            continue
+        if prev_step is None:
+            findings.append(_diag(
+                "HAZ003",
+                f"input '{name}' claims residency but no previous call "
+                f"loaded the banks",
+                step_index=step.index, step_label=label,
+                location=_loc(step)))
+            continue
+        if name == prev_step.output:
+            # Previous result reused: lives in the result banks, needs
+            # the on-board copy, but the data is on the board.  Valid.
+            continue
+        same_layout = (len(prev_step.inputs) == len(step.inputs))
+        same_slot = (slot < len(prev_step.inputs)
+                     and prev_step.inputs[slot] == name)
+        if not (same_layout and same_slot):
+            where = (f"previous call held "
+                     f"[{', '.join(prev_step.inputs)}] with "
+                     f"{len(prev_step.inputs)} input(s)")
+            findings.append(_diag(
+                "HAZ003",
+                f"input '{name}' (slot {slot}) claims residency, but "
+                f"{where}: the {step.mode.value} layout would read a "
+                f"bank pair the data never reached (intra alternates "
+                f"block_A/block_B per strip; inter pins one pair per "
+                f"image)",
+                step_index=step.index, step_label=label,
+                location=_loc(step)))
+    return findings
+
+
+def _dead_store_rules(program: CallProgram,
+                      reads: Dict[str, int]) -> List[Diagnostic]:
+    """HAZ005: planes written, never consumed, never returned."""
+    findings: List[Diagnostic] = []
+    live = set(reads) | set(program.results)
+    for step in program.steps:
+        if step.output is not None and step.output not in live:
+            findings.append(_diag(
+                "HAZ005",
+                f"plane '{step.output}' is written but no later step "
+                f"reads it and it is not a program result: the whole "
+                f"call (input DMA, processing, readback) is dead work",
+                step_index=step.index, step_label=step.describe,
+                location=_loc(step)))
+    return findings

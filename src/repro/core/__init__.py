@@ -11,8 +11,11 @@ Table 1.
 from .config import (EngineConfig, EngineConfigError, IIM_LINES,
                      IIM_LINES_PER_IMAGE_INTER, OIM_LINES, inter_config,
                      intra_config)
-from .engine import (AddressEngine, EngineDeadlock, EngineRunResult,
-                     PLC_TICKS_PER_CYCLE)
+from .constraints import (FAST_PATH_MAX_OP_CYCLES, FAST_PATH_MIN_STRIPS,
+                          INPUT_TXU_TICKS_PER_CYCLE, PLC_TICKS_PER_CYCLE,
+                          RESULT_BANK_PIXELS, default_max_cycles,
+                          fast_path_blockers, min_call_cycles)
+from .errors import EngineDeadlock, deadlock_message
 from .iim import InputIntermediateMemory, LineStoreFifo
 from .image_controller import ImageLevelController
 from .instructions import Instruction, InstructionKind, bundle_for
@@ -21,9 +24,6 @@ from .oim import OutputIntermediateMemory
 from .pci import (DEFAULT_JOB_OVERHEAD_CYCLES, DMAJob, Interrupt, PCIBus,
                   PCI_CLOCK_HZ, PCI_PEAK_BYTES_PER_SECOND, PCI_WORD_BITS)
 from .plc import Arbiter, ArbiterConflict, PixelLevelController, PlcStats
-from .reconfig import (CONFIG_BANDWIDTH_BYTES_PER_S, FULL_BITSTREAM_BYTES,
-                       PARTIAL_BITSTREAM_BYTES, ReconfigurableEngine,
-                       ReconfigurationModel, ScheduleReport)
 from .process_unit import (PixelBundle, ProcessUnit, ResultPixel,
                            ScanCounters)
 from .resources import (BRAM_BITS, DeviceCapacity, ModuleEstimate,
@@ -38,6 +38,32 @@ from .txu import InputTransmissionUnit, OutputTransmissionUnit
 from .zbt import (BANK_COUNT, BANK_WORDS, BankPortConflict, BankStats,
                   IMAGE0_BANKS, IMAGE1_BANKS, RESULT_BANKS, ZBTLayout,
                   ZBTMemory)
+
+#: Names resolved lazily (PEP 562) because their modules pull in the
+#: cycle-level stepper: ``import repro.core`` -- and therefore importing
+#: the analyzer's diagnostics -- must stay cheap and stepper-free.
+_LAZY_EXPORTS = {
+    "AddressEngine": "engine",
+    "EngineRunResult": "engine",
+    "CONFIG_BANDWIDTH_BYTES_PER_S": "reconfig",
+    "FULL_BITSTREAM_BYTES": "reconfig",
+    "PARTIAL_BITSTREAM_BYTES": "reconfig",
+    "ReconfigurableEngine": "reconfig",
+    "ReconfigurationModel": "reconfig",
+    "ScheduleReport": "reconfig",
+}
+
+
+def __getattr__(name: str) -> object:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "AddressEngine",
@@ -55,6 +81,9 @@ __all__ = [
     "EngineConfigError",
     "EngineDeadlock",
     "EngineRunResult",
+    "FAST_PATH_MAX_OP_CYCLES",
+    "FAST_PATH_MIN_STRIPS",
+    "INPUT_TXU_TICKS_PER_CYCLE",
     "IIM_LINES",
     "IIM_LINES_PER_IMAGE_INTER",
     "IMAGE0_BANKS",
@@ -81,6 +110,7 @@ __all__ = [
     "PlcStats",
     "ProcessUnit",
     "RESULT_BANKS",
+    "RESULT_BANK_PIXELS",
     "ResourceEstimate",
     "ResultPixel",
     "ScanCounters",
@@ -90,6 +120,10 @@ __all__ = [
     "ZBTLayout",
     "ZBTMemory",
     "bundle_for",
+    "deadlock_message",
+    "default_max_cycles",
+    "fast_path_blockers",
+    "min_call_cycles",
     "inter_config",
     "intra_config",
     "iim_brams",

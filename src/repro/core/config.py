@@ -59,14 +59,16 @@ class EngineConfig:
         if self.mode is AddressingMode.INTER:
             if not isinstance(self.op, InterOp):
                 raise EngineConfigError(
-                    f"inter mode needs an InterOp, got {type(self.op).__name__}")
+                    "inter mode needs an InterOp, got "
+                    f"{type(self.op).__name__}")
             if self.requires_full_frames and self.fmt.strips < 2:
                 raise EngineConfigError(
                     "full-frame inter ops need at least two strips")
         else:
             if not isinstance(self.op, IntraOp):
                 raise EngineConfigError(
-                    f"intra mode needs an IntraOp, got {type(self.op).__name__}")
+                    "intra mode needs an IntraOp, got "
+                    f"{type(self.op).__name__}")
             span = self.op.neighbourhood.line_span
             if span > MAX_NEIGHBOURHOOD_LINES:
                 raise EngineConfigError(

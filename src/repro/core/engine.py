@@ -18,7 +18,7 @@ transmission unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -26,8 +26,10 @@ from ..addresslib.addressing import AddressingMode
 from ..addresslib.executor import VectorExecutor
 from ..image.frame import Frame
 from .config import EngineConfig, IIM_LINES, OIM_LINES
-from .fastpath import (EngineDeadlock, FastStepper, deadlock_message,
-                       tick_engine_cycle)
+from .constraints import (INPUT_TXU_TICKS_PER_CYCLE, PLC_TICKS_PER_CYCLE,
+                          default_max_cycles, fast_path_blockers)
+from .errors import EngineDeadlock, deadlock_message
+from .fastpath import FastStepper, tick_engine_cycle
 from .iim import InputIntermediateMemory
 from .image_controller import ImageLevelController
 from .oim import OutputIntermediateMemory
@@ -37,14 +39,8 @@ from .process_unit import ProcessUnit
 from .txu import InputTransmissionUnit, OutputTransmissionUnit
 from .zbt import ZBTMemory, ZBTLayout
 
-#: PLC ticks per model clock: the startpipeline sustains up to two
-#: pixel-cycles per bus cycle (see DESIGN.md's rate table).
-PLC_TICKS_PER_CYCLE = 2
-
-#: Input transmission unit ticks per model clock: the ZBT memory domain
-#: runs at twice the design clock, so a TxU can stream two pixels per
-#: engine cycle and keep the doubled-rate Process Unit fed.
-INPUT_TXU_TICKS_PER_CYCLE = 2
+__all__ = ["AddressEngine", "EngineRunResult", "EngineDeadlock",
+           "INPUT_TXU_TICKS_PER_CYCLE", "PLC_TICKS_PER_CYCLE"]
 
 
 @dataclass
@@ -127,19 +123,21 @@ class AddressEngine:
 
         Anything else (long-latency ops, single-strip frames, ablated
         tick rates) runs the per-cycle reference loop; the stepper itself
-        additionally bridges any *dynamic* regime it cannot batch.
+        additionally bridges any *dynamic* regime it cannot batch.  The
+        regime boundaries live in
+        :func:`repro.core.constraints.fast_path_blockers`, shared with
+        the static analyzer's prediction.
         """
-        return (config.op.engine_cycles <= 2
-                and config.fmt.strips >= 2
-                and self.plc_ticks_per_cycle == PLC_TICKS_PER_CYCLE
-                and self.input_txu_ticks_per_cycle
-                == INPUT_TXU_TICKS_PER_CYCLE)
+        return not fast_path_blockers(
+            config.op.engine_cycles, config.fmt.strips,
+            self.plc_ticks_per_cycle, self.input_txu_ticks_per_cycle)
 
-    # -- golden reference ---------------------------------------------------------
+    # -- golden reference -----------------------------------------------------
 
     @staticmethod
     def run_functional(config: EngineConfig, frame_a: Frame,
-                       frame_b: Optional[Frame] = None):
+                       frame_b: Optional[Frame] = None
+                       ) -> "Frame | int":
         """Bit-exact expected result via the vector executor.
 
         Used by tests to check the cycle-level model and by the host
@@ -155,7 +153,7 @@ class AddressEngine:
                                         config.channels)
         return VectorExecutor.intra(config.op, frame_a, config.channels)
 
-    # -- cycle-level run -----------------------------------------------------------
+    # -- cycle-level run ------------------------------------------------------
 
     def run_call(self, config: EngineConfig, frame_a: Frame,
                  frame_b: Optional[Frame] = None,
@@ -200,7 +198,7 @@ class AddressEngine:
         ilc.schedule_input(frames, resident=resident)
 
         if max_cycles is None:
-            max_cycles = 80 * config.fmt.pixels + 200_000
+            max_cycles = default_max_cycles(config.fmt.pixels)
         if fast_path is None:
             fast_path = self.fast_path
         use_fast = fast_path and self._fast_path_eligible(config)
@@ -221,6 +219,7 @@ class AddressEngine:
                                   self.input_txu_ticks_per_cycle)
                 cycle += 1
 
+        assert ilc.completion_cycle is not None
         result_frame, scalar = self._assemble_result(config, ilc)
         return EngineRunResult(
             config=config, frame=result_frame, scalar=scalar,
@@ -235,12 +234,13 @@ class AddressEngine:
             fast_path_used=use_fast)
 
     @staticmethod
-    def _assemble_result(config: EngineConfig,
-                         ilc: ImageLevelController):
+    def _assemble_result(
+            config: EngineConfig, ilc: ImageLevelController
+    ) -> Tuple[Optional[Frame], Optional[int]]:
         """Rebuild the host-side result from the readback word stream."""
         if not config.produces_image:
-            words = ilc.readback_words
-            scalar = (words[0] | (words[1] << 32))
+            raw = ilc.readback_words
+            scalar = (raw[0] | (raw[1] << 32))
             return None, scalar
         words = np.asarray(ilc.readback_words, dtype=np.uint64)
         pairs = words.reshape(-1, 2)

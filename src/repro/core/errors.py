@@ -1,0 +1,53 @@
+"""User-facing engine errors, free of stepper dependencies.
+
+:class:`EngineDeadlock` is the AddressEngine's externally visible
+failure mode, raised by both the per-cycle loop and the batched
+fast-path stepper when a call exceeds its cycle safety bound.  It lives
+here -- not in :mod:`repro.core.fastpath` -- so diagnostics consumers
+(the static analyzer, host tooling) can import it without dragging in
+the stepper and its numpy-heavy machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..image.formats import STRIP_LINES
+
+if TYPE_CHECKING:  # imported for type hints only; keeps this module light
+    from .config import EngineConfig
+    from .image_controller import ImageLevelController
+    from .pci import PCIBus
+    from .plc import PixelLevelController
+    from .txu import InputTransmissionUnit
+
+
+class EngineDeadlock(RuntimeError):
+    """The cycle loop exceeded its safety bound without completing."""
+
+
+def deadlock_message(max_cycles: int, config: "EngineConfig",
+                     ilc: "ImageLevelController",
+                     plc: "PixelLevelController",
+                     pci: "PCIBus",
+                     input_txus: "List[InputTransmissionUnit]") -> str:
+    """Diagnostic snapshot for :class:`EngineDeadlock`: where every
+    component got stuck, with per-component progress counters."""
+    fmt = config.fmt
+    txu_progress = "; ".join(
+        f"img{txu.image} strip={min(txu._line // STRIP_LINES, fmt.strips - 1)}"
+        f" lines_moved={txu.pixels_moved // fmt.width}/{fmt.height}"
+        f" stalls(no_strip={txu.stall_no_strip}"
+        f" iim_full={txu.stall_iim_full} bank={txu.stall_bank_busy})"
+        for txu in input_txus)
+    return (
+        f"call did not complete within {max_cycles} cycles: "
+        f"plc done={plc.done} retired={plc.stats.retired_pixel_cycles}"
+        f"/{fmt.pixels} pixel-cycles; "
+        f"input strips done={ilc.input_strips_done} of {fmt.strips}; "
+        f"txu [{txu_progress}]; "
+        f"dma words to_board={pci.words_to_board} "
+        f"to_host={pci.words_to_host} "
+        f"(busy={pci.busy_cycles} stall={pci.stall_cycles} "
+        f"overhead={pci.overhead_cycles} idle={pci.idle_cycles}); "
+        f"readback={len(ilc.readback_words)}/{ilc.readback_total_words}")

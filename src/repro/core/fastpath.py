@@ -42,52 +42,25 @@ import numpy as np
 
 from ..addresslib.addressing import AddressingMode
 from ..addresslib.executor import VectorExecutor, channels_of
-from ..image.formats import STRIP_LINES
 from ..image.frame import Frame
 from .config import EngineConfig
+from .errors import EngineDeadlock, deadlock_message
 from .iim import InputIntermediateMemory
 from .image_controller import ImageLevelController
 from .oim import OutputIntermediateMemory
 from .pci import PCIBus
-from .plc import (PLC_DONE, PLC_FLOW, PLC_FROZEN_DISABLED, PLC_FROZEN_IIM,
+from .plc import (PLC_FLOW, PLC_FROZEN_DISABLED, PLC_FROZEN_IIM,
                   PLC_IRREGULAR, PixelLevelController, _Stage1State,
                   _Stage3State)
 from .process_unit import PixelBundle, ProcessUnit, ResultPixel, _extract
-from .txu import (TXU_DONE, TXU_FIFO_FULL, TXU_MOVING, TXU_NO_STRIP,
+from .txu import (TXU_FIFO_FULL, TXU_MOVING, TXU_NO_STRIP,
                   InputTransmissionUnit, OutputTransmissionUnit)
 from .zbt import ZBTMemory
 
+__all__ = ["EngineDeadlock", "FastStepper", "deadlock_message",
+           "tick_engine_cycle"]
+
 _INF = 1 << 60
-
-
-class EngineDeadlock(RuntimeError):
-    """The cycle loop exceeded its safety bound without completing."""
-
-
-def deadlock_message(max_cycles: int, config: EngineConfig,
-                     ilc: ImageLevelController, plc: PixelLevelController,
-                     pci: PCIBus,
-                     input_txus: List[InputTransmissionUnit]) -> str:
-    """Diagnostic snapshot for :class:`EngineDeadlock`: where every
-    component got stuck, with per-component progress counters."""
-    fmt = config.fmt
-    txu_progress = "; ".join(
-        f"img{txu.image} strip={min(txu._line // STRIP_LINES, fmt.strips - 1)}"
-        f" lines_moved={txu.pixels_moved // fmt.width}/{fmt.height}"
-        f" stalls(no_strip={txu.stall_no_strip}"
-        f" iim_full={txu.stall_iim_full} bank={txu.stall_bank_busy})"
-        for txu in input_txus)
-    return (
-        f"call did not complete within {max_cycles} cycles: "
-        f"plc done={plc.done} retired={plc.stats.retired_pixel_cycles}"
-        f"/{fmt.pixels} pixel-cycles; "
-        f"input strips done={ilc.input_strips_done} of {fmt.strips}; "
-        f"txu [{txu_progress}]; "
-        f"dma words to_board={pci.words_to_board} "
-        f"to_host={pci.words_to_host} "
-        f"(busy={pci.busy_cycles} stall={pci.stall_cycles} "
-        f"overhead={pci.overhead_cycles} idle={pci.idle_cycles}); "
-        f"readback={len(ilc.readback_words)}/{ilc.readback_total_words}")
 
 
 def tick_engine_cycle(cycle: int, zbt: ZBTMemory, pci: PCIBus,
@@ -174,7 +147,7 @@ class FastStepper:
         self._txu_plans: List[Tuple[str, int]] = []
         self._out_mode = "none"
 
-    # -- precomputation ---------------------------------------------------------
+    # -- precomputation -------------------------------------------------------
 
     def _precompute_result(self, frames: List[Frame]) -> None:
         """The result stream is data, not control: compute it once with
@@ -207,7 +180,7 @@ class FastStepper:
                                    self.res_upper.tolist()))
         self.reduce_cum = None
 
-    # -- main loop --------------------------------------------------------------
+    # -- main loop ------------------------------------------------------------
 
     def run(self, max_cycles: int) -> int:
         """Advance until the call completes; returns the elapsed cycles
@@ -231,7 +204,7 @@ class FastStepper:
                 cycle += 1
         return cycle
 
-    # -- window planning --------------------------------------------------------
+    # -- window planning ------------------------------------------------------
 
     def _plan_window(self, budget: int) -> int:
         """Joint event horizon: the largest ``n`` for which every
@@ -400,7 +373,7 @@ class FastStepper:
             return 0
         return -(-pixels // rate)
 
-    # -- window application -----------------------------------------------------
+    # -- window application ---------------------------------------------------
 
     def _advance(self, cycles: int) -> None:
         """Apply one planned window: every component advances ``cycles``

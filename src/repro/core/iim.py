@@ -44,7 +44,7 @@ class LineStoreFifo:
         self._fill_column = 0
         self._filling: Optional[int] = None
 
-    # -- handshake signals -----------------------------------------------------
+    # -- handshake signals ----------------------------------------------------
 
     @property
     def full(self) -> bool:
@@ -67,7 +67,7 @@ class LineStoreFifo:
         """The line number the transmission unit will deliver next."""
         return self._next_line_in if self._filling is None else self._filling
 
-    # -- fill side (transmission unit) -----------------------------------------
+    # -- fill side (transmission unit) ----------------------------------------
 
     def can_accept_pixel(self) -> bool:
         """Whether one more pixel can be pushed this cycle."""
@@ -97,7 +97,7 @@ class LineStoreFifo:
             self._next_line_in = self._filling + 1
             self._filling = None
 
-    # -- batched fill (fast path) ------------------------------------------------
+    # -- batched fill (fast path) ---------------------------------------------
 
     def acceptable_pixels(self) -> int:
         """How many pixels :meth:`push_pixel` could take before the FULL
@@ -159,7 +159,7 @@ class LineStoreFifo:
         lines = self._lines.keys()
         return min(lines), max(lines)
 
-    # -- read side (process unit stage 2) ---------------------------------------
+    # -- read side (process unit stage 2) -------------------------------------
 
     def lines_resident(self, first_line: int, last_line: int) -> bool:
         """Whether every line in ``[first_line, last_line]`` (clamped to the

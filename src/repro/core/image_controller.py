@@ -60,7 +60,7 @@ class ImageLevelController:
         #: PCI-overlap analysis of section 4.1).
         self.input_complete_cycle: Optional[int] = None
 
-    # -- input scheduling ---------------------------------------------------------
+    # -- input scheduling -----------------------------------------------------
 
     def schedule_input(self, frames: List[Frame],
                        resident: Optional[List[bool]] = None) -> None:
@@ -172,7 +172,7 @@ class ImageLevelController:
         if all(done == fmt.strips for done in self.input_strips_done):
             self.input_complete = True
 
-    # -- per-cycle control --------------------------------------------------------
+    # -- per-cycle control ----------------------------------------------------
 
     def control(self, cycle: int) -> None:
         """The ILC's combinational decisions for this cycle.
@@ -299,7 +299,7 @@ class ImageLevelController:
         self.readback_words.append(word)
         return True
 
-    # -- completion -----------------------------------------------------------------
+    # -- completion -----------------------------------------------------------
 
     @property
     def call_done(self) -> bool:

@@ -84,7 +84,8 @@ class MatrixRegister:
     def filled(self) -> bool:
         return len(self._slots) == self.size
 
-    def _check_offsets(self, values: Dict[Tuple[int, int], PixelWords]) -> None:
+    def _check_offsets(
+            self, values: Dict[Tuple[int, int], PixelWords]) -> None:
         for offset in values:
             if offset not in self.neighbourhood.offsets:
                 raise KeyError(

@@ -80,7 +80,7 @@ class OutputIntermediateMemory:
             raise RuntimeError("OIM underflow")
         return self._queue.popleft()
 
-    # -- batched (fast-path) access --------------------------------------------
+    # -- batched (fast-path) access -------------------------------------------
 
     def fast_push(self, pixels: List[Tuple[int, int, int]],
                   intra_window_peak: int) -> None:

@@ -92,7 +92,7 @@ class PCIBus:
         self.words_to_board = 0
         self.words_to_host = 0
 
-    # -- job management ----------------------------------------------------------
+    # -- job management -------------------------------------------------------
 
     def enqueue(self, job: DMAJob) -> None:
         """Append a job; jobs run strictly in order (half-duplex bus)."""
@@ -116,7 +116,7 @@ class PCIBus:
     def raise_interrupt(self, cycle: int, name: str) -> None:
         self.interrupts.append(Interrupt(cycle, name))
 
-    # -- cycle behaviour --------------------------------------------------------
+    # -- cycle behaviour ------------------------------------------------------
 
     def tick(self, cycle: int) -> Optional[Tuple[DMAJob, int]]:
         """Advance one bus cycle.
@@ -149,7 +149,7 @@ class PCIBus:
             self._active = None
         return job, index
 
-    # -- batched (fast-path) behaviour -------------------------------------------
+    # -- batched (fast-path) behaviour ----------------------------------------
 
     def activate_next_job(self) -> Optional[DMAJob]:
         """Promote the queue head to active without burning a cycle.
@@ -207,7 +207,7 @@ class PCIBus:
         else:
             self.words_to_host += cycles
 
-    # -- reporting -----------------------------------------------------------------
+    # -- reporting ------------------------------------------------------------
 
     @property
     def total_bytes(self) -> int:

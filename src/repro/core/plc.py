@@ -23,13 +23,13 @@ any more pixel-cycles until this signal is enabled again".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from .instructions import Instruction, InstructionKind
+from .instructions import InstructionKind
 from .process_unit import PixelBundle, ProcessUnit, ResultPixel
 
-#: Fast-path boundary classifications (see :meth:`PixelLevelController.fast_mode`).
+#: Fast-path boundary classes (:meth:`PixelLevelController.fast_mode`).
 PLC_DONE = "done"
 PLC_FLOW = "flow"
 PLC_FROZEN_IIM = "frozen_iim"
@@ -126,7 +126,7 @@ class PixelLevelController:
                 self._s3 is not None,
                 self._s4 is not None or self._s4_is_reduce_retire)
 
-    # -- batched (fast-path) behaviour ------------------------------------------
+    # -- batched (fast-path) behaviour ----------------------------------------
 
     @property
     def fast_flow_rate(self) -> int:
@@ -191,7 +191,7 @@ class PixelLevelController:
         else:
             raise ValueError(f"not a frozen mode: {mode}")
 
-    # -- one clock ---------------------------------------------------------------
+    # -- one clock ------------------------------------------------------------
 
     def tick(self) -> None:
         """Advance the pipeline one engine clock (stages drain back-first)."""

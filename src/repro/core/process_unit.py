@@ -122,7 +122,7 @@ class ProcessUnit:
         self.reduce_accumulator = 0
         self._channels = channels_of(config.channels)
 
-    # -- stage 2 helpers ----------------------------------------------------------
+    # -- stage 2 helpers ------------------------------------------------------
 
     def _clamped_line(self, y: int, dy: int) -> int:
         return min(max(y + dy, 0), self.config.fmt.height - 1)
@@ -224,7 +224,7 @@ class ProcessUnit:
             for fifo in self.iim.fifos:
                 fifo.release_through(last_dead)
 
-    # -- stage 3 --------------------------------------------------------------------
+    # -- stage 3 --------------------------------------------------------------
 
     def stage3_execute(self, bundle: PixelBundle) -> Optional[ResultPixel]:
         """Execute the OP instruction; ``None`` when reducing to a scalar."""
@@ -251,7 +251,7 @@ class ProcessUnit:
                            position=bundle.position,
                            lower=lower, upper=upper)
 
-    # -- stage 4 --------------------------------------------------------------------
+    # -- stage 4 --------------------------------------------------------------
 
     def stage4_store(self, result: ResultPixel) -> None:
         """Execute the STORE instruction: result pixel into the OIM."""

@@ -29,7 +29,7 @@ provided for call-level planning.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
@@ -204,7 +204,7 @@ class SegmentUnit:
             readback_cycles=readback_cycles,
             overhead_cycles=overhead)
 
-    # -- closed-form planning --------------------------------------------------
+    # -- closed-form planning -------------------------------------------------
 
     def call_cycles_estimate(self, config: SegmentCallConfig,
                              expected_pixels: int) -> int:

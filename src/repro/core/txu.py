@@ -86,7 +86,7 @@ class InputTransmissionUnit:
             self._line += 1
         return True
 
-    # -- batched (fast-path) behaviour ------------------------------------------
+    # -- batched (fast-path) behaviour ----------------------------------------
 
     @property
     def current_banks(self) -> Tuple[int, int]:
@@ -237,7 +237,7 @@ class OutputTransmissionUnit:
         self.pixels_written += 1
         return True
 
-    # -- batched (fast-path) behaviour ------------------------------------------
+    # -- batched (fast-path) behaviour ----------------------------------------
 
     @property
     def active_bank(self) -> int:

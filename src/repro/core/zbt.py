@@ -84,7 +84,7 @@ class ZBTMemory:
         self._cycle_ops: Dict[int, int] = {}
         self._cycle_had_access = False
 
-    # -- cycle bookkeeping -----------------------------------------------------
+    # -- cycle bookkeeping ----------------------------------------------------
 
     def begin_cycle(self) -> None:
         """Start a new engine cycle (resets the per-cycle port budgets)."""
@@ -123,7 +123,7 @@ class ZBTMemory:
             self._cycle_had_access = True
             self.access_cycles += 1
 
-    # -- word access -------------------------------------------------------------
+    # -- word access ----------------------------------------------------------
 
     def read(self, bank: int, address: int) -> int:
         """Read one 32-bit word (one port operation this cycle)."""
@@ -141,7 +141,7 @@ class ZBTMemory:
         """Record one pixel-granular access operation (Table 2's metric)."""
         self.pixel_ops += 1
 
-    # -- batched (fast-path) access --------------------------------------------
+    # -- batched (fast-path) access -------------------------------------------
 
     def bulk_write(self, bank: int, start_address: int,
                    values: np.ndarray) -> None:

@@ -1,5 +1,6 @@
 """Host-side runtime: driver, engine backend, evaluation platforms."""
 
+from ..analysis.diagnostics import ProgramCheckError
 from .backend import EngineBackend
 from .backend_v2 import EngineBackendV2
 from .driver import (AddressEngineDriver, DriverResult,
@@ -13,6 +14,7 @@ __all__ = [
     "EngineBackend",
     "FrameResidencyCache",
     "EngineBackendV2",
+    "ProgramCheckError",
     "RunReport",
     "Runtime",
     "engine_platform",

@@ -75,7 +75,7 @@ class EngineBackend(Backend):
         record.extra["resident_inputs"] = float(sum(resident))
         return result, record
 
-    # -- call execution ------------------------------------------------------------
+    # -- call execution -------------------------------------------------------
 
     def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
               channels: ChannelSet) -> Tuple[Frame, CallRecord]:
@@ -102,7 +102,7 @@ class EngineBackend(Backend):
         assert result.scalar is not None
         return result.scalar, record
 
-    # -- accounting -------------------------------------------------------------------
+    # -- accounting -----------------------------------------------------------
 
     @staticmethod
     def _record(config: EngineConfig, result) -> CallRecord:

@@ -16,8 +16,11 @@ back to the application.  Two execution strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..analysis.analyzer import analyze_config
+from ..analysis.diagnostics import ProgramCheckError
+from ..analysis.params import EngineParams
 from ..core.config import EngineConfig
 from ..core.engine import AddressEngine, EngineRunResult
 from ..image.frame import Frame
@@ -121,12 +124,34 @@ class AddressEngineDriver:
     #: closed-form timing (slow; for tests and microarchitecture benches).
     simulate: bool = False
     engine: AddressEngine = field(default_factory=AddressEngine)
+    #: Run the AddressCheck static analyzer before dispatching each call
+    #: and refuse (``ProgramCheckError``) anything it flags as an error:
+    #: rejects-before-execute instead of a mid-run ``EngineDeadlock``.
+    preflight: bool = False
     interrupts_serviced: int = 0
     calls_submitted: int = 0
+    calls_rejected: int = 0
+
+    def check(self, config: EngineConfig) -> None:
+        """Pre-flight one call; raise :class:`ProgramCheckError` on
+        errors (capacity overflows, guaranteed deadlocks, ...).
+
+        Residency flags are *not* part of the single-call check: the
+        driver's :class:`FrameResidencyCache` derives them from the
+        previous call's actual bank state, which a one-call program
+        cannot see.  Chain-level residency claims are validated by
+        :func:`repro.analysis.analyze_program` over the full program.
+        """
+        params = EngineParams.from_engine(self.engine)
+        report = analyze_config(config, params)
+        if not report.ok:
+            self.calls_rejected += 1
+            raise ProgramCheckError(report)
 
     def submit(self, config: EngineConfig, frame_a: Frame,
                frame_b: Optional[Frame] = None,
-               resident=None, onboard_copy_cycles: int = 0
+               resident: Optional[Sequence[bool]] = None,
+               onboard_copy_cycles: int = 0
                ) -> DriverResult:
         """Execute one AddressEngine call and wait for its interrupt.
 
@@ -134,6 +159,8 @@ class AddressEngineDriver:
         ``onboard_copy_cycles`` charges a result-bank-to-input-bank move
         when the previous call's *result* is reused as an input.
         """
+        if self.preflight:
+            self.check(config)
         self.calls_submitted += 1
         resident = list(resident or [False] * config.images_in)
         resident_count = sum(resident)

@@ -52,7 +52,7 @@ class Runtime:
         self.lib = AddressLib(backend)
         self._high_level_seconds = 0.0
 
-    # -- high-level (host-resident) work ---------------------------------------
+    # -- high-level (host-resident) work --------------------------------------
 
     def charge_high_level(self, instructions: float,
                           mean_cpi: float = 1.5) -> None:
@@ -64,7 +64,7 @@ class Runtime:
         """Charge host-side work described by an instruction profile."""
         self._high_level_seconds += self.host_cpu.seconds(profile)
 
-    # -- accounting ----------------------------------------------------------------
+    # -- accounting -----------------------------------------------------------
 
     def _call_seconds(self) -> float:
         total = 0.0

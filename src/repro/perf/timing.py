@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.config import EngineConfig
-from ..core.engine import PLC_TICKS_PER_CYCLE
+from ..core.constraints import PLC_TICKS_PER_CYCLE
 from ..core.pci import DEFAULT_JOB_OVERHEAD_CYCLES, PCI_CLOCK_HZ
 
 

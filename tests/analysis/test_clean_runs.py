@@ -1,0 +1,94 @@
+"""The analyzer's soundness contract, property-tested.
+
+A program AddressCheck passes as clean must run on the cycle-level
+engine without :class:`EngineDeadlock`; a program it flags with a
+liveness *error* must deadlock.  Hypothesis sweeps small geometries and
+the full op tables on both sides of the boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addresslib import INTER_OPS, INTRA_OPS
+from repro.analysis import (EngineDeadlock, EngineParams, analyze_config,
+                            predict_fast_path)
+from repro.core import AddressEngine, inter_config, intra_config
+from repro.core.constraints import min_call_cycles
+from repro.image import ImageFormat, noise_frame
+
+ENGINE = AddressEngine()
+
+geometries = st.tuples(st.integers(4, 24), st.sampled_from([4, 8, 16, 32]))
+intra_ops = st.sampled_from(sorted(INTRA_OPS.values(),
+                                   key=lambda op: op.name))
+inter_ops = st.sampled_from(sorted(INTER_OPS.values(),
+                                   key=lambda op: op.name))
+
+
+def fmt_of(geometry):
+    width, height = geometry
+    return ImageFormat(f"P{width}x{height}", width, height)
+
+
+class TestCleanMeansRunnable:
+    @given(geometry=geometries, op=intra_ops, seed=st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_clean_intra_never_deadlocks(self, geometry, op, seed):
+        fmt = fmt_of(geometry)
+        config = intra_config(op, fmt)
+        report = analyze_config(config)
+        assert report.ok, report.format()
+        run = ENGINE.run_call(config, noise_frame(fmt, seed=seed))
+        assert run.completion_cycle > 0
+
+    @given(geometry=geometries, op=inter_ops, seed=st.integers(0, 999),
+           reduce_to_scalar=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_clean_inter_never_deadlocks(self, geometry, op, seed,
+                                         reduce_to_scalar):
+        fmt = fmt_of(geometry)
+        config = inter_config(op, fmt, reduce_to_scalar=reduce_to_scalar)
+        report = analyze_config(config)
+        assert report.ok, report.format()
+        run = ENGINE.run_call(config, noise_frame(fmt, seed=seed),
+                              noise_frame(fmt, seed=seed + 1))
+        assert run.completion_cycle > 0
+
+    @given(geometry=geometries, op=intra_ops, seed=st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_prediction_matches_engine_dispatch(self, geometry, op, seed):
+        fmt = fmt_of(geometry)
+        config = intra_config(op, fmt)
+        run = ENGINE.run_call(config, noise_frame(fmt, seed=seed))
+        prediction = predict_fast_path(config,
+                                       EngineParams.from_engine(ENGINE))
+        assert prediction.eligible == run.fast_path_used
+
+
+class TestLivenessErrorMeansDeadlock:
+    @given(geometry=geometries, seed=st.integers(0, 999))
+    @settings(max_examples=10, deadline=None)
+    def test_liv001_bound_actually_deadlocks(self, geometry, seed):
+        fmt = fmt_of(geometry)
+        op = INTER_OPS["inter_absdiff"]
+        config = inter_config(op, fmt)
+        floor = min_call_cycles(config)
+        bound = floor // 2 if floor > 1 else 1
+        report = analyze_config(config, EngineParams(max_cycles=bound))
+        assert report.by_rule("LIV001"), report.format()
+        with pytest.raises(EngineDeadlock):
+            ENGINE.run_call(config, noise_frame(fmt, seed=seed),
+                            noise_frame(fmt, seed=seed + 1),
+                            max_cycles=bound)
+
+    def test_floor_is_sound_at_the_default_params(self):
+        """The provable floor never exceeds the observed completion."""
+        for width, height in [(16, 16), (24, 48), (20, 40)]:
+            fmt = ImageFormat(f"P{width}x{height}", width, height)
+            config = inter_config(INTER_OPS["inter_absdiff"], fmt)
+            run = ENGINE.run_call(config, noise_frame(fmt, seed=1),
+                                  noise_frame(fmt, seed=2))
+            assert min_call_cycles(config) <= run.cycles

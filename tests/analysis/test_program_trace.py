@@ -1,0 +1,103 @@
+"""Tracing compositions through the recording backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.addresslib import (AddressingMode, INTER_ABSDIFF, INTRA_BOX3,
+                              MotionMaskSettings, motion_mask, opening,
+                              top_hat, unsharp_mask)
+from repro.addresslib.program import (CallProgram, ProgramRecorder,
+                                      trace_program)
+from repro.analysis import analyze_program
+from repro.core.config import inter_config, intra_config
+from repro.image import ImageFormat
+from repro.image.frame import Frame
+
+FMT = ImageFormat("T32", 32, 32)
+
+
+class TestTraceProgram:
+    def test_motion_mask_trace_shape(self):
+        program = trace_program("motion_mask", motion_mask, Frame(FMT),
+                                Frame(FMT))
+        assert program.inputs == ("in0", "in1")
+        assert len(program.steps) == 5       # diff, box, thr, erode, dilate
+        assert program.steps[0].mode is AddressingMode.INTER
+        assert all(s.mode is AddressingMode.INTRA
+                   for s in program.steps[1:])
+        assert program.results == (program.steps[-1].output,)
+
+    def test_dataflow_links_through_temporaries(self):
+        program = trace_program("opening", opening, Frame(FMT))
+        first, second = program.steps
+        assert first.inputs == ("in0",)
+        assert second.inputs == (first.output,)
+
+    def test_source_locations_point_at_compositions(self):
+        program = trace_program("top_hat", top_hat, Frame(FMT))
+        for step in program.steps:
+            assert step.location is not None
+            assert step.location.filename.endswith("compositions.py")
+
+    def test_settings_kwargs_forwarded(self):
+        program = trace_program(
+            "mm", motion_mask, Frame(FMT), Frame(FMT),
+            settings=MotionMaskSettings(threshold=10, despeckle=None))
+        assert len(program.steps) == 3       # no despeckle pair
+
+    def test_traced_compositions_analyze_clean(self):
+        for name, fn, arity in [("opening", opening, 1),
+                                ("top_hat", top_hat, 1),
+                                ("unsharp_mask", unsharp_mask, 1),
+                                ("motion_mask", motion_mask, 2)]:
+            frames = [Frame(FMT) for _ in range(arity)]
+            report = analyze_program(trace_program(name, fn, *frames))
+            assert report.ok, report.format()
+            assert not report.warnings, report.format()
+
+    def test_scalar_reduce_step_has_no_output(self):
+        def body(lib, a, b):
+            lib.inter_reduce(INTER_ABSDIFF, a, b)
+        program = trace_program("sad", body, Frame(FMT), Frame(FMT))
+        (step,) = program.steps
+        assert step.output is None and step.reduce_to_scalar
+        assert program.results == ()
+
+
+class TestProgramRecorder:
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValueError):
+            ProgramRecorder([Frame(FMT)], input_names=("a", "b"))
+
+    def test_empty_trace_rejected(self):
+        recorder = ProgramRecorder([Frame(FMT)])
+        with pytest.raises(ValueError):
+            recorder.program("empty")
+
+    def test_external_frame_becomes_input(self):
+        recorder = ProgramRecorder([Frame(FMT)])
+        from repro.addresslib import AddressLib
+        lib = AddressLib(backend=recorder)
+        stray = Frame(FMT)               # never registered as an input
+        lib.inter(INTER_ABSDIFF, stray, Frame(FMT))
+        program = recorder.program("stray")
+        assert program.steps[0].inputs[0].startswith("ext")
+
+
+class TestSingleCallPrograms:
+    def test_single_wraps_intra(self):
+        program = CallProgram.single(intra_config(INTRA_BOX3, FMT))
+        (step,) = program.steps
+        assert step.inputs == ("in0",)
+        assert program.results == ("out",)
+
+    def test_single_wraps_scalar_reduce(self):
+        config = inter_config(INTER_ABSDIFF, FMT, reduce_to_scalar=True)
+        program = CallProgram.single(config)
+        assert program.inputs == ("in0", "in1")
+        assert program.results == ()
+
+    def test_step_describe_is_readable(self):
+        program = CallProgram.single(intra_config(INTRA_BOX3, FMT))
+        assert "intra intra_box3(in0) -> out" in program.steps[0].describe

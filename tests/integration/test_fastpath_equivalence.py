@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.analysis import EngineParams, predict_fast_path
 from repro.core import (AddressEngine, EngineDeadlock, inter_config,
                         intra_config)
 from repro.addresslib import INTER_OPS, INTRA_OPS
@@ -76,6 +77,15 @@ def _assert_equivalent(config, frames, resident=None):
             f"per-cycle {slow_snap[key]} vs fast {fast_snap[key]}")
     if slow.frame is not None:
         assert slow.frame.equals(fast.frame)
+    # The static analyzer's prediction must match the dispatch decision
+    # the engine actually took (they share fast_path_blockers; this
+    # holds the contract over the whole corpus).
+    prediction = predict_fast_path(config, EngineParams.from_engine(FAST))
+    assert prediction.eligible == fast.fast_path_used, (
+        f"analyzer predicted eligible={prediction.eligible} "
+        f"(reasons={prediction.reasons}) but the engine used "
+        f"fast_path={fast.fast_path_used} for {config.op.name} on "
+        f"{config.fmt.name}")
     return fast
 
 
