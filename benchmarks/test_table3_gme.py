@@ -132,6 +132,10 @@ def test_fastpath_speedup_writes_bench_json(table3_rows, table3_scale,
                 "speedup": row.speedup,
                 "intra_calls": row.intra_calls,
                 "inter_calls": row.inter_calls,
+                "fpga_serial_call_seconds": row.fpga_serial_call_seconds,
+                "fpga_overlapped_call_seconds":
+                    row.fpga_overlapped_call_seconds,
+                "overlap_efficiency": row.overlap_efficiency,
             }
             for row in table3_rows
         ],
@@ -159,6 +163,29 @@ def test_fastpath_speedup_writes_bench_json(table3_rows, table3_scale,
           f"{slow.cycles / slow_seconds:,.0f}")],
         title=(f"CIF inter run_call -- {slow.cycles} cycles, "
                f"fast path {wall_speedup:.1f}x faster")))
+
+
+def test_table3_overlap_model(table3_rows, save_report):
+    """The block_A/block_B double-buffer model: per sequence, the
+    overlapped board time never exceeds the serial (sum) model, and the
+    hidden fraction is a sane efficiency in [0, 1)."""
+    lines = []
+    for row in table3_rows:
+        assert row.fpga_serial_call_seconds > 0
+        assert (row.fpga_overlapped_call_seconds
+                <= row.fpga_serial_call_seconds + 1e-12)
+        assert 0.0 <= row.overlap_efficiency < 1.0
+        lines.append((
+            row.name,
+            format_seconds(row.fpga_serial_call_seconds),
+            format_seconds(row.fpga_overlapped_call_seconds),
+            f"{row.overlap_efficiency * 100:.1f}%"))
+    save_report("table3_overlap", format_table(
+        ["video", "serial (sum) model", "double-buffered model",
+         "hidden"],
+        lines,
+        title=("Table 3 board time under the strip-pipeline overlap "
+               "model (section 4.1 block_A/block_B)")))
 
 
 def test_table3_fpga_time_is_call_dominated(table3_rows, benchmark,

@@ -1,0 +1,137 @@
+"""Experiment SCHED -- wall-clock sharding of a multi-call GME slice.
+
+A slice of the Table 3 GME workload expressed as one batch of
+independent AddressLib calls (per-frame Sobel/box/homogeneity intra
+work plus inter SAD reduces between consecutive frames) runs twice:
+serially, and sharded across a :class:`CallScheduler` worker pool.
+
+What must hold:
+
+* the scheduled results are *bit-exact* with serial execution;
+* the modelled dispatch makespan across >= 4 virtual engine workers
+  under the block_A/block_B overlap model is at least 2x better than
+  the serial (sum) model -- this is machine-independent and always
+  asserted;
+* on hosts with >= 4 CPUs the real wall clock is also >= 2x better
+  (skipped on smaller hosts and when ``REPRO_WALLCLOCK_RELAXED`` is
+  set, e.g. in CI containers with one core).
+
+Results land in ``BENCH_wallclock.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.addresslib import (AddressLib, BatchCall, INTER_ABSDIFF,
+                              INTRA_BOX3, INTRA_HOMOGENEITY,
+                              INTRA_SOBEL_X, INTRA_SOBEL_Y,
+                              SoftwareBackend)
+from repro.gme import SINGAPORE, SyntheticSequence
+from repro.host import CallScheduler
+from repro.perf import format_seconds, format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FRAMES = 12
+WORKERS = 4
+
+
+def _gme_slice_calls():
+    """One batch of independent calls over a CIF sequence slice."""
+    sequence = SyntheticSequence(SINGAPORE, frames_override=FRAMES)
+    frames = [sequence.frame(i) for i in range(FRAMES)]
+    calls = []
+    for frame in frames:
+        calls.append(BatchCall.intra(INTRA_BOX3, frame))
+        calls.append(BatchCall.intra(INTRA_SOBEL_X, frame))
+        calls.append(BatchCall.intra(INTRA_SOBEL_Y, frame))
+        calls.append(BatchCall.intra(INTRA_HOMOGENEITY, frame))
+    for previous, current in zip(frames, frames[1:]):
+        calls.append(BatchCall.inter_reduce(INTER_ABSDIFF, previous,
+                                            current))
+    return calls
+
+
+def _run(calls, scheduler=None):
+    lib = AddressLib(SoftwareBackend())
+    t0 = time.perf_counter()
+    results = lib.run_batch(calls, scheduler=scheduler)
+    return results, time.perf_counter() - t0
+
+
+def test_scheduler_wallclock(save_report):
+    calls = _gme_slice_calls()
+
+    serial_results, serial_seconds = _run(calls)
+
+    with CallScheduler(max_workers=WORKERS) as scheduler:
+        # Warm the worker pool outside the timed region (process
+        # start-up is a one-off cost a long-running host amortises).
+        _run(calls[:WORKERS], scheduler=scheduler)
+        scheduled_results, scheduled_seconds = _run(
+            calls, scheduler=scheduler)
+        report = scheduler.last_report
+
+    # Bit-exactness: the sharded batch is indistinguishable from serial.
+    assert len(scheduled_results) == len(serial_results)
+    for got, want in zip(scheduled_results, serial_results):
+        if isinstance(want, int):
+            assert got == want
+        else:
+            assert got.equals(want)
+
+    # The modelled dispatch makespan across >= 4 engine workers:
+    # machine-independent, always asserted.
+    assert report is not None
+    assert report.workers >= 4
+    modeled_speedup = report.modeled_speedup
+    assert modeled_speedup >= 2.0, (
+        f"modelled {report.workers}-worker makespan speedup "
+        f"{modeled_speedup:.2f}x below 2x")
+
+    # Real wall clock: only meaningful with enough CPUs to shard onto.
+    cpus = os.cpu_count() or 1
+    wall_speedup = serial_seconds / scheduled_seconds
+    wall_asserted = (cpus >= 4
+                     and not os.environ.get("REPRO_WALLCLOCK_RELAXED"))
+    if wall_asserted:
+        assert wall_speedup >= 2.0, (
+            f"wall-clock speedup {wall_speedup:.2f}x below 2x on "
+            f"{cpus} CPUs")
+
+    payload = {
+        "cpus": cpus,
+        "workers": WORKERS,
+        "calls": len(calls),
+        "frames": FRAMES,
+        "pool_calls": report.pool_calls,
+        "inline_calls": report.inline_calls,
+        "wall": {
+            "serial_seconds": serial_seconds,
+            "scheduled_seconds": scheduled_seconds,
+            "speedup": wall_speedup,
+            "asserted": wall_asserted,
+        },
+        "modeled": {
+            "serial_seconds": report.modeled_serial_seconds,
+            "pipelined_seconds": report.modeled_pipelined_seconds,
+            "speedup": modeled_speedup,
+        },
+        "bit_exact": True,
+    }
+    (REPO_ROOT / "BENCH_wallclock.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    save_report("wallclock_scheduler", format_table(
+        ["execution", "wall", "modelled board time"],
+        [("serial", format_seconds(serial_seconds),
+          format_seconds(report.modeled_serial_seconds)),
+         (f"scheduled x{WORKERS}", format_seconds(scheduled_seconds),
+          format_seconds(report.modeled_pipelined_seconds))],
+        title=(f"GME slice, {len(calls)} independent calls -- wall "
+               f"{wall_speedup:.2f}x ({cpus} CPUs, "
+               f"{'asserted' if wall_asserted else 'informational'}), "
+               f"modelled {modeled_speedup:.2f}x across "
+               f"{report.workers} engine workers")))

@@ -12,6 +12,7 @@ executes.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, Sequence, Tuple
 
 from .addressing import CON_8, CON_24, Neighbourhood
@@ -89,10 +90,21 @@ KERNEL_FACTORIES: Dict[str, Callable[[], IntraOp]] = {
 }
 
 
+@lru_cache(maxsize=None)
+def _kernel_instance(name: str) -> IntraOp:
+    return KERNEL_FACTORIES[name]()
+
+
 def kernel_by_name(name: str) -> IntraOp:
-    """Instantiate a named kernel preset."""
+    """Look up a named kernel preset.
+
+    Memoized: repeated lookups return the *same* :class:`IntraOp`
+    instance instead of rebuilding the weight tables, so the registry
+    is also an identity anchor -- the residency cache and the call
+    scheduler's worker dispatch both compare ops by identity.
+    """
     try:
-        return KERNEL_FACTORIES[name.strip().lower()]()
+        return _kernel_instance(name.strip().lower())
     except KeyError:
         raise KeyError(
             f"unknown kernel {name!r}; known: "

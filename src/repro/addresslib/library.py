@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -89,14 +89,118 @@ class CallLog:
         self.records.clear()
 
 
+@dataclass(frozen=True)
+class BatchCall:
+    """One engine-eligible call queued for batched submission.
+
+    A batch is a set of calls the application *declares* independent
+    (or that the scheduler derived from a program's dependency edges):
+    no call's input is another call's output.  :meth:`AddressLib.run_batch`
+    executes a batch either serially (records identical to issuing the
+    calls one by one) or through a scheduler's worker pool.
+    """
+
+    mode: AddressingMode
+    op: Union[InterOp, IntraOp]
+    frames: Tuple[Frame, ...]
+    channels: ChannelSet = ChannelSet.Y
+    reduce_to_scalar: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode is AddressingMode.INTER:
+            if not isinstance(self.op, InterOp) or len(self.frames) != 2:
+                raise ValueError("inter batch calls take an InterOp "
+                                 "and exactly two frames")
+            if self.frames[0].format != self.frames[1].format:
+                raise ValueError("inter batch call frames must share "
+                                 "one format")
+        elif self.mode is AddressingMode.INTRA:
+            if not isinstance(self.op, IntraOp) or len(self.frames) != 1:
+                raise ValueError("intra batch calls take an IntraOp "
+                                 "and exactly one frame")
+            if self.reduce_to_scalar:
+                raise ValueError("scalar reduction is inter-only")
+        else:
+            raise ValueError(f"batches take inter/intra calls only, "
+                             f"not {self.mode.value}")
+
+    @classmethod
+    def intra(cls, op: IntraOp, frame: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> "BatchCall":
+        return cls(mode=AddressingMode.INTRA, op=op, frames=(frame,),
+                   channels=channels)
+
+    @classmethod
+    def inter(cls, op: InterOp, frame_a: Frame, frame_b: Frame,
+              channels: ChannelSet = ChannelSet.Y) -> "BatchCall":
+        return cls(mode=AddressingMode.INTER, op=op,
+                   frames=(frame_a, frame_b), channels=channels)
+
+    @classmethod
+    def inter_reduce(cls, op: InterOp, frame_a: Frame, frame_b: Frame,
+                     channels: ChannelSet = ChannelSet.Y) -> "BatchCall":
+        return cls(mode=AddressingMode.INTER, op=op,
+                   frames=(frame_a, frame_b), channels=channels,
+                   reduce_to_scalar=True)
+
+    @property
+    def fmt(self):
+        return self.frames[0].format
+
+
+@dataclass
+class BatchOutcome:
+    """The functional result of one batched call."""
+
+    frame: Optional[Frame] = None
+    scalar: Optional[int] = None
+
+    @property
+    def value(self) -> Union[Frame, int]:
+        if self.frame is not None:
+            return self.frame
+        assert self.scalar is not None
+        return self.scalar
+
+
+class BatchExecutor(abc.ABC):
+    """The contract a call scheduler fulfils for :class:`AddressLib`.
+
+    Implementations (:class:`repro.host.scheduler.CallScheduler`)
+    compute the functional results of a batch -- possibly concurrently
+    across worker processes -- and return them *in submission order*.
+    Accounting stays with the library/backend, which records each call
+    analytically.
+    """
+
+    @abc.abstractmethod
+    def compute_batch(self,
+                      calls: Sequence[BatchCall]) -> List[BatchOutcome]:
+        """Execute every call of the batch; outcomes in call order."""
+
+
 class Backend(abc.ABC):
     """Executes AddressLib calls; one of software or AddressEngine."""
 
     name: str = "abstract"
 
+    #: Whether :meth:`batch_record` can account a scheduler-executed
+    #: call without re-running it.  Backends that couple execution and
+    #: accounting (e.g. the program recorder) leave this ``False`` and
+    #: batches fall back to the serial path.
+    can_record_batches: bool = False
+
     @abc.abstractmethod
     def supports(self, mode: AddressingMode) -> bool:
         """Whether this backend can execute ``mode``."""
+
+    def batch_record(self, call: BatchCall) -> CallRecord:
+        """Account one scheduler-executed call (no execution here)."""
+        raise NotImplementedError(
+            f"{self.name} backend cannot record batched calls")
+
+    def begin_parallel_wave(self) -> None:
+        """Hook before a concurrent wave of calls (default: no-op)."""
 
     @abc.abstractmethod
     def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
@@ -123,6 +227,7 @@ class SoftwareBackend(Backend):
     """
 
     name = "software"
+    can_record_batches = True
 
     def __init__(self, cost_model: Optional[SoftwareCostModel] = None,
                  scan: ScanOrder = ScanOrder.HORIZONTAL) -> None:
@@ -132,51 +237,62 @@ class SoftwareBackend(Backend):
     def supports(self, mode: AddressingMode) -> bool:
         return True
 
+    # -- accounting (shared by the serial and batch paths) -------------------
+
+    def inter_record(self, op: InterOp, fmt, channels: ChannelSet,
+                     reduce_to_scalar: bool = False) -> CallRecord:
+        profile = self.cost_model.inter_profile(op, fmt, channels)
+        op_name = op.name
+        if reduce_to_scalar:
+            # The reduction adds one accumulate per pixel per channel.
+            profile.add_cost(InstructionCost(alu=1),
+                             fmt.pixels * channels.count)
+            op_name = f"{op.name}+reduce"
+        return CallRecord(
+            mode=AddressingMode.INTER, op_name=op_name, channels=channels,
+            format_name=fmt.name, pixels=fmt.pixels, profile=profile,
+            extra={"sw_accesses": float(
+                self.cost_model.inter_accesses(fmt, channels)),
+                   "width": float(fmt.width),
+                   "height": float(fmt.height)})
+
+    def intra_record(self, op: IntraOp, fmt,
+                     channels: ChannelSet) -> CallRecord:
+        profile = self.cost_model.intra_profile(op, fmt, channels,
+                                                self.scan)
+        return CallRecord(
+            mode=AddressingMode.INTRA, op_name=op.name, channels=channels,
+            format_name=fmt.name, pixels=fmt.pixels, profile=profile,
+            extra={"sw_accesses": float(self.cost_model.intra_accesses(
+                op, fmt, channels, self.scan)),
+                   "width": float(fmt.width),
+                   "height": float(fmt.height)})
+
+    def batch_record(self, call: BatchCall) -> CallRecord:
+        if call.mode is AddressingMode.INTER:
+            assert isinstance(call.op, InterOp)
+            return self.inter_record(call.op, call.fmt, call.channels,
+                                     call.reduce_to_scalar)
+        assert isinstance(call.op, IntraOp)
+        return self.intra_record(call.op, call.fmt, call.channels)
+
+    # -- call execution ------------------------------------------------------
+
     def inter(self, op: InterOp, frame_a: Frame, frame_b: Frame,
               channels: ChannelSet) -> Tuple[Frame, CallRecord]:
         result = VectorExecutor.inter(op, frame_a, frame_b, channels)
-        profile = self.cost_model.inter_profile(op, frame_a.format, channels)
-        record = CallRecord(
-            mode=AddressingMode.INTER, op_name=op.name, channels=channels,
-            format_name=frame_a.format.name, pixels=frame_a.format.pixels,
-            profile=profile,
-            extra={"sw_accesses": float(
-                self.cost_model.inter_accesses(frame_a.format, channels)),
-                   "width": float(frame_a.format.width),
-                   "height": float(frame_a.format.height)})
-        return result, record
+        return result, self.inter_record(op, frame_a.format, channels)
 
     def intra(self, op: IntraOp, frame: Frame,
               channels: ChannelSet) -> Tuple[Frame, CallRecord]:
         result = VectorExecutor.intra(op, frame, channels)
-        profile = self.cost_model.intra_profile(op, frame.format, channels,
-                                                self.scan)
-        record = CallRecord(
-            mode=AddressingMode.INTRA, op_name=op.name, channels=channels,
-            format_name=frame.format.name, pixels=frame.format.pixels,
-            profile=profile,
-            extra={"sw_accesses": float(self.cost_model.intra_accesses(
-                op, frame.format, channels, self.scan)),
-                   "width": float(frame.format.width),
-                   "height": float(frame.format.height)})
-        return result, record
+        return result, self.intra_record(op, frame.format, channels)
 
     def inter_reduce(self, op: InterOp, frame_a: Frame, frame_b: Frame,
                      channels: ChannelSet) -> Tuple[int, CallRecord]:
         value = VectorExecutor.inter_reduce(op, frame_a, frame_b, channels)
-        profile = self.cost_model.inter_profile(op, frame_a.format, channels)
-        # The reduction adds one accumulate per pixel per channel.
-        profile.add_cost(InstructionCost(alu=1),
-                         frame_a.format.pixels * channels.count)
-        record = CallRecord(
-            mode=AddressingMode.INTER, op_name=f"{op.name}+reduce",
-            channels=channels, format_name=frame_a.format.name,
-            pixels=frame_a.format.pixels, profile=profile,
-            extra={"sw_accesses": float(
-                self.cost_model.inter_accesses(frame_a.format, channels)),
-                   "width": float(frame_a.format.width),
-                   "height": float(frame_a.format.height)})
-        return value, record
+        return value, self.inter_record(op, frame_a.format, channels,
+                                        reduce_to_scalar=True)
 
 
 class AddressLib:
@@ -222,6 +338,68 @@ class AddressLib:
             op, frame_a, frame_b, channels)
         self.log.append(record)
         return value
+
+    def run_batch(self, calls: Sequence[BatchCall],
+                  scheduler: Optional[BatchExecutor] = None
+                  ) -> List[Union[Frame, int]]:
+        """Submit a batch of *independent* inter/intra calls.
+
+        Without a scheduler this is sugar: each call is issued through
+        the normal single-call path in order, so the results *and* the
+        log records are identical to hand-written serial code.  With a
+        scheduler, the functional results come from the scheduler's
+        engine workers (bit-exact: the workers run the same vector
+        executor) while each call is recorded with the backend's
+        analytic accounting -- one record per call, same counts, no
+        re-execution.  If any dispatched backend cannot record batched
+        calls, the whole batch silently takes the serial path.
+        """
+        calls = list(calls)
+        if scheduler is not None and len(calls) > 1:
+            backends = [self._dispatch(call.mode) for call in calls]
+            if all(b.can_record_batches for b in backends):
+                return self._run_batch_scheduled(calls, backends,
+                                                 scheduler)
+        results: List[Union[Frame, int]] = []
+        for call in calls:
+            if call.mode is AddressingMode.INTRA:
+                assert isinstance(call.op, IntraOp)
+                results.append(self.intra(call.op, call.frames[0],
+                                          call.channels))
+            else:
+                assert isinstance(call.op, InterOp)
+                if call.reduce_to_scalar:
+                    results.append(self.inter_reduce(
+                        call.op, call.frames[0], call.frames[1],
+                        call.channels))
+                else:
+                    results.append(self.inter(
+                        call.op, call.frames[0], call.frames[1],
+                        call.channels))
+        return results
+
+    def _run_batch_scheduled(self, calls: List[BatchCall],
+                             backends: List[Backend],
+                             scheduler: BatchExecutor
+                             ) -> List[Union[Frame, int]]:
+        # One modelled board per backend: concurrent calls leave its
+        # inter-call state (frame residency) undefined, so give each
+        # backend the chance to drop it before the wave.
+        seen: Dict[int, Backend] = {}
+        for backend in backends:
+            if id(backend) not in seen:
+                seen[id(backend)] = backend
+                backend.begin_parallel_wave()
+        outcomes = scheduler.compute_batch(calls)
+        if len(outcomes) != len(calls):
+            raise RuntimeError(
+                f"scheduler returned {len(outcomes)} outcomes for "
+                f"{len(calls)} calls")
+        results: List[Union[Frame, int]] = []
+        for call, backend, outcome in zip(calls, backends, outcomes):
+            self.log.append(backend.batch_record(call))
+            results.append(outcome.value)
+        return results
 
     # -- segment / segment-indexed (software path in v1) ----------------------
 

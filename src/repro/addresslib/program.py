@@ -128,6 +128,88 @@ class CallProgram:
         return tuple(s.output for s in self.steps if s.output is not None)
 
 
+# ---------------------------------------------------------------------------
+# Dependency structure (what the pipelined scheduler is allowed to reorder)
+# ---------------------------------------------------------------------------
+
+def dependency_edges(program: CallProgram) -> List[Tuple[int, int]]:
+    """Ordering constraints between steps, as ``(before, after)`` pairs.
+
+    Three hazard kinds force an edge, matching classic dataflow:
+
+    * **RAW** -- a step reads a plane the last writer produced;
+    * **WAW** -- a step overwrites a plane an earlier step wrote;
+    * **WAR** -- a step overwrites a plane earlier steps read (possible
+      only in hand-built programs; the recorder's SSA temp naming never
+      reuses a plane name).
+
+    Steps not connected by a path may execute concurrently: their
+    inputs and outputs are disjoint planes, so any interleaving of the
+    underlying calls produces bit-identical results.
+    """
+    last_writer: Dict[str, int] = {}
+    readers: Dict[str, List[int]] = {}
+    edges = set()
+    for step in program.steps:
+        for name in step.inputs:
+            writer = last_writer.get(name)
+            if writer is not None and writer != step.index:
+                edges.add((writer, step.index))
+        if step.output is not None:
+            writer = last_writer.get(step.output)
+            if writer is not None and writer != step.index:
+                edges.add((writer, step.index))
+            for reader in readers.get(step.output, ()):
+                if reader != step.index:
+                    edges.add((reader, step.index))
+            last_writer[step.output] = step.index
+            readers[step.output] = []
+        for name in step.inputs:
+            readers.setdefault(name, []).append(step.index)
+    return sorted(edges)
+
+
+def dependency_levels(program: CallProgram) -> List[List[int]]:
+    """ASAP wavefronts: lists of step indices, in program order, where
+    every step's predecessors sit in strictly earlier lists.
+
+    All steps inside one wavefront are mutually independent -- this is
+    the unit the call scheduler dispatches concurrently.
+    """
+    predecessors: Dict[int, List[int]] = {}
+    for before, after in dependency_edges(program):
+        predecessors.setdefault(after, []).append(before)
+    level_of: Dict[int, int] = {}
+    levels: List[List[int]] = []
+    for step in program.steps:
+        preds = predecessors.get(step.index, [])
+        level = 1 + max((level_of[p] for p in preds), default=-1)
+        level_of[step.index] = level
+        while len(levels) <= level:
+            levels.append([])
+        levels[level].append(step.index)
+    return levels
+
+
+def critical_path_length(program: CallProgram) -> int:
+    """Length (in calls) of the longest dependency chain."""
+    if not program.steps:
+        return 0
+    return len(dependency_levels(program))
+
+
+def exploitable_parallelism(program: CallProgram) -> float:
+    """Average calls per wavefront: ``steps / critical path``.
+
+    1.0 means the program serialises completely -- the scheduler can
+    give it no concurrency; the rule layer flags that case (SCH001).
+    """
+    path = critical_path_length(program)
+    if path == 0:
+        return 1.0
+    return len(program.steps) / path
+
+
 def _issue_location() -> Optional[SourceLocation]:
     """The nearest stack frame outside the AddressLib plumbing."""
     depth = 1

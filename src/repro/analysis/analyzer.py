@@ -30,6 +30,7 @@ from .diagnostics import (AnalysisReport, Diagnostic, FastPathPrediction,
 from .hazards import dataflow_rules
 from .params import EngineParams
 from .rules import _diag, capacity_rules, fast_path_rules, liveness_rules
+from .scheduling import scheduling_rules
 
 _DEFAULT_PARAMS = EngineParams()
 
@@ -63,6 +64,7 @@ def analyze_program(program: CallProgram,
     params = params or _DEFAULT_PARAMS
     report = AnalysisReport(program_name=program.name)
     report.extend(dataflow_rules(program))
+    report.extend(scheduling_rules(program))
     for step in program.steps:
         try:
             config = step_config(step)

@@ -137,6 +137,16 @@ def _broken_fast_path() -> Tuple[CallProgram, EngineParams]:
                                name="broken_fast_path"), EngineParams())
 
 
+def _serial_chain() -> Tuple[CallProgram, EngineParams]:
+    """A straight grad -> box -> median chain: every step consumes the
+    previous step's output, so no two calls can ever overlap (SCH001)."""
+    def body(lib: AddressLib, frame: Frame) -> Frame:
+        edges = lib.intra(INTRA_GRAD, frame)
+        smooth = lib.intra(INTRA_BOX3, edges)
+        return lib.intra(INTRA_MEDIAN3, smooth)
+    return trace_program("serial_chain", body, Frame(QCIF)), EngineParams()
+
+
 #: rule class -> (builder, rule id that must fire).
 SELFTEST_CASES: Dict[str, Tuple[
         Callable[[], Tuple[CallProgram, EngineParams]], str]] = {
@@ -144,6 +154,7 @@ SELFTEST_CASES: Dict[str, Tuple[
     "hazard": (_broken_hazard, "HAZ001"),
     "liveness": (_broken_liveness, "LIV001"),
     "fast-path": (_broken_fast_path, "FPA001"),
+    "scheduling": (_serial_chain, "SCH001"),
 }
 
 

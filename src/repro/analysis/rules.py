@@ -79,6 +79,9 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
          "instrumented tick rates force the per-cycle loop"),
     Rule("FPA004", Severity.INFO, "fast-path",
          "fast path disabled engine-wide"),
+    Rule("SCH001", Severity.INFO, "scheduling",
+         "dependency graph fully serialises: no exploitable call "
+         "parallelism"),
 )}
 
 #: Fallback reason code -> the FPA rule that reports it.

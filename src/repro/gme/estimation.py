@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..addresslib.library import AddressLib
+from ..addresslib.library import AddressLib, BatchCall, BatchExecutor
 from ..addresslib.ops import (INTER_ABSDIFF, INTRA_BOX3, INTRA_HOMOGENEITY,
                               INTRA_SOBEL_X, INTRA_SOBEL_Y)
 from ..image.formats import ImageFormat
@@ -90,9 +90,14 @@ class GlobalMotionEstimator:
 
     def __init__(self, lib: AddressLib,
                  settings: Optional[GmeSettings] = None,
-                 charge: Optional[Callable[[float], None]] = None) -> None:
+                 charge: Optional[Callable[[float], None]] = None,
+                 scheduler: Optional[BatchExecutor] = None) -> None:
         self.lib = lib
         self.settings = settings or GmeSettings()
+        #: Optional pipelined call scheduler: the per-pair reference
+        #: intra calls (Sobel per level + blend-mask homogeneity) are
+        #: mutually independent and ship as one batch.
+        self.scheduler = scheduler
         self._charge = charge or (lambda instructions: None)
         self._format_cache: Dict[Tuple[int, int], ImageFormat] = {}
         self._grid_cache: Dict[Tuple[int, int],
@@ -165,11 +170,12 @@ class GlobalMotionEstimator:
         per_level: List[int] = []
         final_sad = float("inf")
 
+        gradients, mask_frame = self._pair_intra_batch(ref_pyramid)
         for level in range(settings.levels - 1, -1, -1):
             ref = ref_pyramid[level]
             cur = cur_pyramid[level]
             use_affine = settings.affine_at_finest and level == 0
-            gx, gy = self._reference_gradients(ref)
+            gx, gy = gradients[level]
             model, sad, iterations = self._refine_level(
                 ref, cur, model, gx, gy, use_affine)
             total_iterations += iterations
@@ -178,8 +184,6 @@ class GlobalMotionEstimator:
             if level > 0:
                 model = model.scaled(2.0)
 
-        mask_frame = self.lib.intra(INTRA_HOMOGENEITY,
-                                    ref_pyramid[0].frame)
         blend_mask = mask_frame.y < 48
         per_level.reverse()
         model = model.inverse()  # return the current -> reference model
@@ -188,18 +192,38 @@ class GlobalMotionEstimator:
                             per_level_iterations=per_level,
                             blend_mask=blend_mask)
 
-    def _reference_gradients(self, ref: PyramidLevel):
-        """Signed Sobel derivatives of the reference via intra calls.
+    def _pair_intra_batch(self, ref_pyramid: List[PyramidLevel]):
+        """All per-pair reference intra calls as one batch.
 
-        The Sobel ops store ``(acc >> 3) + 128``; undoing the bias and
-        shift recovers the derivative in luma units per pixel (up to the
-        Sobel kernel's gain of 8, folded into the solve consistently).
+        The Sobel x/y calls per level and the blend-mask homogeneity
+        call only read the (already built) reference pyramid, so they
+        are mutually independent: one batch, shardable across engine
+        workers when a scheduler is attached.  The Sobel ops store
+        ``(acc >> 3) + 128``; undoing the bias and shift recovers the
+        derivative in luma units per pixel (up to the Sobel kernel's
+        gain of 8, folded into the solve consistently).
+
+        Returns per-level ``(gx, gy)`` float gradients (finest first)
+        and the homogeneity mask frame of the finest level.
         """
-        gx_frame = self.lib.intra(INTRA_SOBEL_X, ref.frame)
-        gy_frame = self.lib.intra(INTRA_SOBEL_Y, ref.frame)
-        gx = (gx_frame.y.astype(np.float64) - 128.0)
-        gy = (gy_frame.y.astype(np.float64) - 128.0)
-        return gx, gy
+        calls = []
+        for ref in ref_pyramid:
+            calls.append(BatchCall.intra(INTRA_SOBEL_X, ref.frame))
+            calls.append(BatchCall.intra(INTRA_SOBEL_Y, ref.frame))
+        calls.append(BatchCall.intra(INTRA_HOMOGENEITY,
+                                     ref_pyramid[0].frame))
+        results = self.lib.run_batch(calls, scheduler=self.scheduler)
+        gradients = []
+        for level in range(len(ref_pyramid)):
+            gx_frame = results[2 * level]
+            gy_frame = results[2 * level + 1]
+            assert isinstance(gx_frame, Frame)
+            assert isinstance(gy_frame, Frame)
+            gradients.append((gx_frame.y.astype(np.float64) - 128.0,
+                              gy_frame.y.astype(np.float64) - 128.0))
+        mask_frame = results[-1]
+        assert isinstance(mask_frame, Frame)
+        return gradients, mask_frame
 
     def _refine_level(self, ref: PyramidLevel, cur: PyramidLevel,
                       model: AffineModel, gx: np.ndarray, gy: np.ndarray,

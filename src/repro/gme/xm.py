@@ -23,7 +23,7 @@ import numpy as np
 
 from ..addresslib.addressing import AddressingMode
 from ..addresslib.executor import SoftwareCostModel
-from ..addresslib.library import SoftwareBackend
+from ..addresslib.library import BatchExecutor, SoftwareBackend
 from ..addresslib.profiling import InstructionCost
 from ..host.runtime import Runtime, software_platform
 from ..perf.cpu_model import CpuModel, PENTIUM_4_3000, PENTIUM_M_1600
@@ -96,19 +96,24 @@ class GmeApplication:
                  settings: Optional[GmeSettings] = None,
                  costs: Optional[XmCosts] = None,
                  build_mosaic: bool = False,
-                 mosaic_shape: Optional[tuple] = None) -> None:
+                 mosaic_shape: Optional[tuple] = None,
+                 scheduler: Optional["BatchExecutor"] = None) -> None:
         self.runtime = runtime
         self.settings = settings or GmeSettings()
         self.costs = costs or XmCosts()
         self.build_mosaic = build_mosaic
         self.mosaic_shape = mosaic_shape
+        #: Optional pipelined call scheduler (shards each pair's
+        #: independent intra calls across engine workers).
+        self.scheduler = scheduler
 
     def run_sequence(self, sequence: SyntheticSequence) -> SequenceRunResult:
         """Process every frame pair of ``sequence``."""
         runtime = self.runtime
         estimator = GlobalMotionEstimator(
             runtime.lib, self.settings,
-            charge=runtime.charge_high_level)
+            charge=runtime.charge_high_level,
+            scheduler=self.scheduler)
         costs = self.costs
 
         mosaic = None
@@ -182,6 +187,10 @@ class Table3Row:
     fpga_seconds: float
     intra_calls: int
     inter_calls: int
+    #: Board time of all calls under the no-overlap (sum) strip model.
+    fpga_serial_call_seconds: float = 0.0
+    #: The same calls under the block_A/block_B double-buffer model.
+    fpga_overlapped_call_seconds: float = 0.0
 
     @property
     def scale_factor(self) -> float:
@@ -196,6 +205,14 @@ class Table3Row:
             return float("inf")
         return self.pm_seconds / self.fpga_seconds
 
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the serial strip time the double buffer hides."""
+        if self.fpga_serial_call_seconds <= 0.0:
+            return 0.0
+        return 1.0 - (self.fpga_overlapped_call_seconds
+                      / self.fpga_serial_call_seconds)
+
     def extrapolated(self) -> "Table3Row":
         """The row scaled to the full sequence length."""
         factor = self.scale_factor
@@ -205,7 +222,11 @@ class Table3Row:
             pm_seconds=self.pm_seconds * factor,
             fpga_seconds=self.fpga_seconds * factor,
             intra_calls=int(round(self.intra_calls * factor)),
-            inter_calls=int(round(self.inter_calls * factor)))
+            inter_calls=int(round(self.inter_calls * factor)),
+            fpga_serial_call_seconds=(
+                self.fpga_serial_call_seconds * factor),
+            fpga_overlapped_call_seconds=(
+                self.fpga_overlapped_call_seconds * factor))
 
 
 def evaluate_sequence_dual(spec: SequenceSpec, scale: float = 1.0,
@@ -233,17 +254,27 @@ def evaluate_sequence_dual(spec: SequenceSpec, scale: float = 1.0,
     result = app.run_sequence(sequence)
 
     # FPGA column: engine time for every inter/intra call of the log.
+    # Alongside the validated Table 3 pricing, run the same geometry
+    # through the no-overlap (sum) and block_A/block_B pipeline models
+    # to report what the double buffer hides per sequence.
     fpga_call_seconds = 0.0
+    serial_call_seconds = 0.0
+    overlapped_call_seconds = 0.0
     for record in runtime.lib.log.records:
         if record.mode not in (AddressingMode.INTER, AddressingMode.INTRA):
             continue
         height = record.extra.get("height")
         strips = (-(-int(height) // 16) if height
                   else -(-record.pixels // (16 * 352)))
+        images_in = 2 if record.mode is AddressingMode.INTER else 1
+        produces_image = not record.op_name.endswith("+reduce")
         fpga_call_seconds += timing.call_seconds_raw(
             pixels=record.pixels, strips=strips,
-            images_in=2 if record.mode is AddressingMode.INTER else 1,
-            produces_image=not record.op_name.endswith("+reduce"))
+            images_in=images_in, produces_image=produces_image)
+        serial_call_seconds += timing.serial_call_seconds_raw(
+            record.pixels, strips, images_in, produces_image)
+        overlapped_call_seconds += timing.overlapped_call_seconds_raw(
+            record.pixels, strips, images_in, produces_image)
 
     # The high-level share runs on the P4 host in the FPGA setup; with the
     # same CPI table it scales by the clock ratio.
@@ -256,4 +287,6 @@ def evaluate_sequence_dual(spec: SequenceSpec, scale: float = 1.0,
         pm_seconds=result.total_seconds,
         fpga_seconds=fpga_call_seconds + hw_high_level,
         intra_calls=result.intra_calls,
-        inter_calls=result.inter_calls)
+        inter_calls=result.inter_calls,
+        fpga_serial_call_seconds=serial_call_seconds,
+        fpga_overlapped_call_seconds=overlapped_call_seconds)

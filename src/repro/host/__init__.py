@@ -3,18 +3,23 @@
 from ..analysis.diagnostics import ProgramCheckError
 from .backend import EngineBackend
 from .backend_v2 import EngineBackendV2
-from .driver import (AddressEngineDriver, DriverResult,
+from .driver import (AddressEngineDriver, CallPrice, DriverResult,
                      FrameResidencyCache)
 from .runtime import (RunReport, Runtime, engine_platform,
                       software_platform)
+from .scheduler import (BatchReport, CallScheduler, ProgramOutcome)
 
 __all__ = [
     "AddressEngineDriver",
+    "BatchReport",
+    "CallPrice",
+    "CallScheduler",
     "DriverResult",
     "EngineBackend",
     "FrameResidencyCache",
     "EngineBackendV2",
     "ProgramCheckError",
+    "ProgramOutcome",
     "RunReport",
     "Runtime",
     "engine_platform",

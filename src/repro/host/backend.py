@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..addresslib.addressing import AddressingMode
-from ..addresslib.library import Backend, CallRecord
+from ..addresslib.library import Backend, BatchCall, CallRecord
 from ..addresslib.ops import ChannelSet, InterOp, IntraOp
 from ..core.config import EngineConfig, inter_config, intra_config
 from ..image.frame import Frame
@@ -33,17 +33,19 @@ class EngineBackend(Backend):
     """
 
     name = "address_engine"
+    can_record_batches = True
 
     def __init__(self, driver: Optional[AddressEngineDriver] = None,
                  special_inter_ops: Tuple[str, ...] = (),
-                 chain_frames: bool = False) -> None:
+                 chain_frames: bool = False,
+                 residency_max_age: Optional[int] = None) -> None:
         self.driver = driver or AddressEngineDriver()
         #: Names of inter ops that must wait for both frames on the board
         #: (section 4.1's "special inter operations").
         self.special_inter_ops = frozenset(special_inter_ops)
         self.chain_frames = chain_frames
         #: On-board state between calls (strong-referenced frames).
-        self.residency = FrameResidencyCache()
+        self.residency = FrameResidencyCache(max_age=residency_max_age)
 
     def supports(self, mode: AddressingMode) -> bool:
         return mode.engine_supported_v1
@@ -102,21 +104,65 @@ class EngineBackend(Backend):
         assert result.scalar is not None
         return result.scalar, record
 
+    # -- batched (scheduler-executed) calls -----------------------------------
+
+    def begin_parallel_wave(self) -> None:
+        """Concurrent calls leave the bank state undefined: drop it."""
+        if self.chain_frames:
+            self.residency.invalidate()
+
+    def _config_for(self, call: BatchCall) -> EngineConfig:
+        """The engine configuration a serial submission would build."""
+        if call.mode is AddressingMode.INTER:
+            assert isinstance(call.op, InterOp)
+            return inter_config(
+                call.op, call.fmt, call.channels,
+                reduce_to_scalar=call.reduce_to_scalar,
+                requires_full_frames=(call.op.name
+                                      in self.special_inter_ops))
+        assert isinstance(call.op, IntraOp)
+        return intra_config(call.op, call.fmt, call.channels)
+
+    def batch_record(self, call: BatchCall) -> CallRecord:
+        """Price and book one scheduler-executed call.
+
+        The functional result was computed in a worker; the board cost
+        comes from the same :meth:`~AddressEngineDriver.price_call`
+        arithmetic a serial :meth:`~AddressEngineDriver.submit` uses.
+        Batched calls never claim residency (the wave invalidated it).
+        """
+        config = self._config_for(call)
+        price = self.driver.price_call(config)
+        self.driver.account_scheduled(price)
+        record = self._base_record(
+            config, price.call_seconds, price.board_seconds,
+            price.pci_words)
+        record.extra["resident_inputs"] = 0.0
+        return record
+
     # -- accounting -----------------------------------------------------------
 
     @staticmethod
-    def _record(config: EngineConfig, result) -> CallRecord:
+    def _base_record(config: EngineConfig, call_seconds: float,
+                     board_seconds: float, pci_words: int) -> CallRecord:
         extra = {
-            "call_seconds": result.call_seconds,
-            "board_seconds": result.board_seconds,
-            "pci_words": float(result.pci_words),
+            "call_seconds": call_seconds,
+            "board_seconds": board_seconds,
+            "pci_words": float(pci_words),
         }
-        if result.run is not None:
-            extra["cycles"] = float(result.run.cycles)
-            extra["zbt_pixel_ops"] = float(result.run.zbt_pixel_ops)
         return CallRecord(
             mode=config.mode,
             op_name=config.op_name
             + ("+reduce" if config.reduce_to_scalar else ""),
             channels=config.channels, format_name=config.fmt.name,
             pixels=config.fmt.pixels, profile=None, extra=extra)
+
+    @staticmethod
+    def _record(config: EngineConfig, result) -> CallRecord:
+        record = EngineBackend._base_record(
+            config, result.call_seconds, result.board_seconds,
+            result.pci_words)
+        if result.run is not None:
+            record.extra["cycles"] = float(result.run.cycles)
+            record.extra["zbt_pixel_ops"] = float(result.run.zbt_pixel_ops)
+        return record

@@ -41,18 +41,42 @@ class FrameResidencyCache:
     that is still alive is exactly the data in the banks, and holding
     the reference guarantees a recycled ``id()`` can never alias a
     garbage-collected predecessor.
+
+    The strong references are bounded: :meth:`release` drops one frame
+    the host has reclaimed, and with ``max_age`` set the cached state
+    expires once it is ``max_age`` generations old (the application
+    marks generation boundaries -- e.g. one per video frame -- with
+    :meth:`new_generation`).  Expiry and release are counted in
+    :attr:`evictions`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_age: Optional[int] = None) -> None:
         self._layout_kind: Optional[int] = None
-        self._inputs: Tuple[Frame, ...] = ()
+        self._inputs: Tuple[Optional[Frame], ...] = ()
         self._result: Optional[Frame] = None
+        #: Generations the cached bank state survives (None: forever).
+        self.max_age = max_age
+        self._generation = 0
+        self._recorded_at: Optional[int] = None
         #: Inputs found still resident in their input banks.
         self.hits = 0
         #: Inputs satisfied by an on-board result-to-input copy.
         self.result_reuses = 0
         #: Inputs that had to ship over the PCI bus.
         self.misses = 0
+        #: Cached frames dropped by release or generation expiry.
+        self.evictions = 0
+
+    @property
+    def generation(self) -> int:
+        """The current generation number (bumped by the application)."""
+        return self._generation
+
+    @property
+    def held_frames(self) -> int:
+        """How many frames the cache keeps alive right now."""
+        held = sum(1 for f in self._inputs if f is not None)
+        return held + (1 if self._result is not None else 0)
 
     def plan(self, config: EngineConfig,
              frames: List[Frame]) -> Tuple[List[bool], int]:
@@ -66,6 +90,7 @@ class FrameResidencyCache:
         input-bank move: the transmission units stream one pixel per
         cycle in each direction, two in flight.
         """
+        self._expire_stale()
         flags: List[bool] = []
         copy_cycles = 0
         same_layout = self._layout_kind == config.images_in
@@ -89,12 +114,62 @@ class FrameResidencyCache:
         self._layout_kind = config.images_in
         self._inputs = tuple(frames)
         self._result = result_frame
+        self._recorded_at = self._generation
 
     def invalidate(self) -> None:
         """Forget the board state (e.g. after a reconfiguration)."""
         self._layout_kind = None
         self._inputs = ()
         self._result = None
+        self._recorded_at = None
+
+    # -- bounding the strong references --------------------------------------
+
+    def new_generation(self) -> None:
+        """Mark a generation boundary (e.g. one processed video frame);
+        expiry is measured in these."""
+        self._generation += 1
+
+    def release(self, frame: Frame) -> None:
+        """Drop one frame from the modelled banks: the host reclaimed
+        its buffer, so treating it as resident would read stale banks.
+        Slot positions of the remaining inputs are preserved."""
+        dropped = 0
+        if self._result is frame:
+            self._result = None
+            dropped += 1
+        if any(f is frame for f in self._inputs):
+            dropped += sum(1 for f in self._inputs if f is frame)
+            self._inputs = tuple(None if f is frame else f
+                                 for f in self._inputs)
+        self.evictions += dropped
+
+    def _expire_stale(self) -> None:
+        """Evict state older than ``max_age`` generations."""
+        if (self.max_age is None or self._recorded_at is None
+                or self._generation - self._recorded_at < self.max_age):
+            return
+        self.evictions += self.held_frames
+        self.invalidate()
+
+
+@dataclass(frozen=True)
+class CallPrice:
+    """The analytic (closed-form) cost of one AddressEngine call."""
+
+    #: Board-side time (cycles at the PCI clock).
+    board_seconds: float
+    #: Host driver/interrupt overhead on top of the board time.
+    host_overhead_seconds: float
+    #: PCI payload words moved.
+    pci_words: int
+    #: Interrupts the host services (one per DMA job + completion).
+    interrupts: int
+
+    @property
+    def call_seconds(self) -> float:
+        """Host-visible call latency."""
+        return self.board_seconds + self.host_overhead_seconds
 
 
 @dataclass
@@ -148,6 +223,35 @@ class AddressEngineDriver:
             self.calls_rejected += 1
             raise ProgramCheckError(report)
 
+    def price_call(self, config: EngineConfig, resident_count: int = 0,
+                   onboard_copy_cycles: int = 0) -> CallPrice:
+        """Closed-form cost of one call, without executing it.
+
+        The call scheduler uses this to price batched calls it has
+        already executed in worker processes; :meth:`submit` uses the
+        same arithmetic so priced and submitted calls account alike.
+        """
+        pci_words = (self.timing.input_words_raw(
+            config.fmt.pixels, config.images_in, resident_count)
+            + self.timing.readback_words(config))
+        host_overhead = self.timing.host_overhead_seconds_raw(
+            config.fmt.strips, config.images_in, resident_count)
+        board_cycles = (self.timing.call_cycles_raw(
+            config.fmt.pixels, config.fmt.strips, config.images_in,
+            config.produces_image, config.requires_full_frames,
+            resident_count) + onboard_copy_cycles)
+        interrupts = self.timing.dma_jobs_raw(
+            config.fmt.strips, config.images_in, resident_count) + 1
+        return CallPrice(
+            board_seconds=board_cycles / self.timing.clock_hz,
+            host_overhead_seconds=host_overhead,
+            pci_words=pci_words, interrupts=interrupts)
+
+    def account_scheduled(self, price: CallPrice) -> None:
+        """Book one scheduler-executed call into the driver counters."""
+        self.calls_submitted += 1
+        self.interrupts_serviced += price.interrupts
+
     def submit(self, config: EngineConfig, frame_a: Frame,
                frame_b: Optional[Frame] = None,
                resident: Optional[Sequence[bool]] = None,
@@ -164,11 +268,8 @@ class AddressEngineDriver:
         self.calls_submitted += 1
         resident = list(resident or [False] * config.images_in)
         resident_count = sum(resident)
-        pci_words = (self.timing.input_words_raw(
-            config.fmt.pixels, config.images_in, resident_count)
-            + self.timing.readback_words(config))
-        host_overhead = self.timing.host_overhead_seconds_raw(
-            config.fmt.strips, config.images_in, resident_count)
+        price = self.price_call(config, resident_count,
+                                onboard_copy_cycles)
         if self.simulate:
             run = self.engine.run_call(config, frame_a, frame_b,
                                        resident=resident)
@@ -178,25 +279,19 @@ class AddressEngineDriver:
                      + onboard_copy_cycles / self.timing.clock_hz)
             return DriverResult(
                 frame=run.frame, scalar=run.scalar,
-                call_seconds=board + host_overhead,
+                call_seconds=board + price.host_overhead_seconds,
                 board_seconds=board,
-                pci_words=pci_words, run=run)
+                pci_words=price.pci_words, run=run)
         result = AddressEngine.run_functional(config, frame_a, frame_b)
-        self.interrupts_serviced += self.timing.dma_jobs_raw(
-            config.fmt.strips, config.images_in, resident_count) + 1
+        self.interrupts_serviced += price.interrupts
         frame: Optional[Frame]
         scalar: Optional[int]
         if isinstance(result, Frame):
             frame, scalar = result, None
         else:
             frame, scalar = None, int(result)
-        board_cycles = (self.timing.call_cycles_raw(
-            config.fmt.pixels, config.fmt.strips, config.images_in,
-            config.produces_image, config.requires_full_frames,
-            resident_count) + onboard_copy_cycles)
-        board = board_cycles / self.timing.clock_hz
         return DriverResult(
             frame=frame, scalar=scalar,
-            call_seconds=board + host_overhead,
-            board_seconds=board,
-            pci_words=pci_words)
+            call_seconds=price.call_seconds,
+            board_seconds=price.board_seconds,
+            pci_words=price.pci_words)

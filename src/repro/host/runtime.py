@@ -30,6 +30,11 @@ class RunReport:
     segment_calls: int
     call_seconds: float
     high_level_seconds: float
+    #: Residency-cache counters (all zero for software platforms).
+    residency_hits: int = 0
+    residency_misses: int = 0
+    residency_result_reuses: int = 0
+    residency_evictions: int = 0
 
     @property
     def total_calls(self) -> int:
@@ -83,13 +88,19 @@ class Runtime:
         log = self.lib.log
         segment_calls = (log.count(AddressingMode.SEGMENT)
                          + log.count(AddressingMode.SEGMENT_INDEXED))
+        residency = getattr(self.backend, "residency", None)
         return RunReport(
             platform=self.platform_name,
             intra_calls=log.intra_calls,
             inter_calls=log.inter_calls,
             segment_calls=segment_calls,
             call_seconds=self._call_seconds(),
-            high_level_seconds=self._high_level_seconds)
+            high_level_seconds=self._high_level_seconds,
+            residency_hits=residency.hits if residency else 0,
+            residency_misses=residency.misses if residency else 0,
+            residency_result_reuses=(
+                residency.result_reuses if residency else 0),
+            residency_evictions=residency.evictions if residency else 0)
 
     def reset(self) -> None:
         self.lib.log.clear()

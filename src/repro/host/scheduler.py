@@ -1,0 +1,345 @@
+"""The pipelined call scheduler: multi-worker sharding of call batches.
+
+The paper's engine overlaps DMA and processing *within* one call via the
+block_A/block_B double buffer (section 4.1); the natural host-side dual
+is overlapping *whole calls* that do not depend on each other.  This
+module supplies that second axis:
+
+* :class:`CallScheduler` executes batches of independent AddressLib
+  calls concurrently across a pool of engine worker processes, and
+  executes whole :class:`~repro.addresslib.program.CallProgram` traces
+  wavefront by wavefront using the dependency edges derived by
+  :func:`~repro.addresslib.program.dependency_edges`;
+* every batch is also *priced* under both timing models -- the serial
+  (sum) model and the double-buffered overlap model of
+  :class:`~repro.perf.timing.EngineTimingModel` -- list-scheduled onto
+  ``max_workers`` virtual engines, so a batch reports the modelled
+  makespan speedup a multi-board deployment would see, independent of
+  how many CPUs this host happens to have.
+
+Bit-exactness is by construction: workers run the *same*
+:class:`~repro.addresslib.executor.VectorExecutor` the serial path
+runs, and outcomes are collected by submission index, so results are
+identical to serial execution regardless of completion order.
+
+Ops carry lambdas and do not pickle, so the parent never ships an op
+object: it ships the op *name* and the worker re-resolves it from the
+registries (:data:`~repro.addresslib.ops.INTER_OPS`,
+:data:`~repro.addresslib.ops.INTRA_OPS`, the kernel book).  A call
+whose op is not *identical* to its registry entry (e.g. a parameterized
+``threshold_op``) is executed inline in the parent instead -- never
+guessed from a name collision.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..addresslib.addressing import AddressingMode
+from ..addresslib.executor import VectorExecutor
+from ..addresslib.kernels import KERNEL_FACTORIES, kernel_by_name
+from ..addresslib.library import BatchCall, BatchExecutor, BatchOutcome
+from ..addresslib.ops import (ChannelSet, InterOp, INTER_OPS, INTRA_OPS,
+                              IntraOp)
+from ..addresslib.program import (CallProgram, ProgramStep,
+                                  dependency_levels)
+from ..image.frame import Frame
+from ..perf.timing import EngineTimingModel
+
+_KERNEL_PREFIX = "kernel_"
+
+
+def _execute_remote(mode_value: str, op_name: str, reduce_to_scalar: bool,
+                    channels: ChannelSet, frames: Tuple[Frame, ...]
+                    ) -> Tuple[str, Union[Frame, int]]:
+    """Worker-side execution of one call.
+
+    Runs in an engine worker process: the op arrives by *name* (ops hold
+    lambdas and do not pickle) and is re-resolved from the registries,
+    then executed with the same :class:`VectorExecutor` the serial path
+    uses.
+    """
+    if mode_value == AddressingMode.INTER.value:
+        inter_op = INTER_OPS[op_name]
+        if reduce_to_scalar:
+            return "scalar", VectorExecutor.inter_reduce(
+                inter_op, frames[0], frames[1], channels)
+        return "frame", VectorExecutor.inter(
+            inter_op, frames[0], frames[1], channels)
+    if op_name in INTRA_OPS:
+        intra_op = INTRA_OPS[op_name]
+    else:
+        intra_op = kernel_by_name(op_name[len(_KERNEL_PREFIX):])
+    return "frame", VectorExecutor.intra(intra_op, frames[0], channels)
+
+
+@dataclass
+class BatchReport:
+    """The books of one (or the cumulative run of) scheduled batches."""
+
+    calls: int = 0
+    waves: int = 0
+    workers: int = 1
+    #: Calls executed in worker processes.
+    pool_calls: int = 0
+    #: Calls executed inline (unresolvable op, or a broken pool).
+    inline_calls: int = 0
+    #: Modelled time of the batch on one engine, no overlap (sum model).
+    modeled_serial_seconds: float = 0.0
+    #: Modelled makespan across ``workers`` engines with the
+    #: block_A/block_B overlap model per call.
+    modeled_pipelined_seconds: float = 0.0
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Serial-over-pipelined; 1.0 for an empty report."""
+        if self.modeled_pipelined_seconds <= 0.0:
+            return 1.0
+        return self.modeled_serial_seconds / self.modeled_pipelined_seconds
+
+
+@dataclass
+class ProgramOutcome:
+    """Everything a scheduled program run produced."""
+
+    #: Every named plane: the program inputs plus each step's output.
+    planes: Dict[str, Frame] = field(default_factory=dict)
+    #: Scalar results of reduce steps, keyed by step index.
+    scalars: Dict[int, int] = field(default_factory=dict)
+
+    def results(self, program: CallProgram) -> Tuple[Frame, ...]:
+        """The program's declared result planes, in order."""
+        return tuple(self.planes[name] for name in program.results)
+
+
+class CallScheduler(BatchExecutor):
+    """Shards independent AddressLib calls across engine workers.
+
+    The pool is created lazily on the first batched call and survives
+    across batches (worker warm-up is paid once).  Any pool failure --
+    a worker that cannot start, dies, or cannot unpickle -- flips the
+    scheduler into inline mode for the rest of its life: results are
+    then computed serially in the parent, still bit-exact, never lost.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 timing: Optional[EngineTimingModel] = None,
+                 special_inter_ops: Sequence[str] = ()) -> None:
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.timing = timing or EngineTimingModel()
+        #: Inter ops priced with ``requires_full_frames`` (the modelled
+        #: overlap gives them no credit; see section 4.1).
+        self.special_inter_ops = frozenset(special_inter_ops)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        #: Books of the most recent batch.
+        self.last_report: Optional[BatchReport] = None
+        #: Cumulative books across every batch this scheduler ran.
+        self.total = BatchReport(workers=self.max_workers)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CallScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool_broken or self.max_workers < 2:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            except Exception:
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    # -- op shipping ----------------------------------------------------------
+
+    @staticmethod
+    def _op_token(call: BatchCall) -> Optional[str]:
+        """The name a worker can re-resolve to *exactly* ``call.op``.
+
+        Identity (not name) is the test: a custom op that happens to
+        share a registry name must not silently run the registry's code
+        in a worker.  ``None`` means "execute inline".
+        """
+        name = call.op.name
+        if call.mode is AddressingMode.INTER:
+            return name if INTER_OPS.get(name) is call.op else None
+        if INTRA_OPS.get(name) is call.op:
+            return name
+        if name.startswith(_KERNEL_PREFIX):
+            base = name[len(_KERNEL_PREFIX):]
+            if base in KERNEL_FACTORIES and kernel_by_name(base) is call.op:
+                return name
+        return None
+
+    @staticmethod
+    def _execute_inline(call: BatchCall) -> BatchOutcome:
+        if call.mode is AddressingMode.INTER:
+            assert isinstance(call.op, InterOp)
+            if call.reduce_to_scalar:
+                return BatchOutcome(scalar=VectorExecutor.inter_reduce(
+                    call.op, call.frames[0], call.frames[1],
+                    call.channels))
+            return BatchOutcome(frame=VectorExecutor.inter(
+                call.op, call.frames[0], call.frames[1], call.channels))
+        assert isinstance(call.op, IntraOp)
+        return BatchOutcome(frame=VectorExecutor.intra(
+            call.op, call.frames[0], call.channels))
+
+    @staticmethod
+    def _outcome(kind: str, value: Union[Frame, int]) -> BatchOutcome:
+        if kind == "scalar":
+            assert isinstance(value, int)
+            return BatchOutcome(scalar=value)
+        assert isinstance(value, Frame)
+        return BatchOutcome(frame=value)
+
+    # -- modelled timing ------------------------------------------------------
+
+    def _call_costs(self, call: BatchCall) -> Tuple[float, float]:
+        """(serial-model, overlap-model) seconds of one call."""
+        fmt = call.fmt
+        images_in = 2 if call.mode is AddressingMode.INTER else 1
+        produces_image = not call.reduce_to_scalar
+        full_frames = (call.mode is AddressingMode.INTER
+                       and call.op.name in self.special_inter_ops)
+        serial = self.timing.serial_call_seconds_raw(
+            fmt.pixels, fmt.strips, images_in, produces_image,
+            full_frames)
+        overlapped = self.timing.overlapped_call_seconds_raw(
+            fmt.pixels, fmt.strips, images_in, produces_image,
+            full_frames)
+        return serial, overlapped
+
+    def _modeled_wave(self, calls: Sequence[BatchCall]
+                      ) -> Tuple[float, float]:
+        """Price one wave: serial sum vs the list-scheduled makespan of
+        per-call overlap-model costs across ``max_workers`` engines."""
+        serial = 0.0
+        costs: List[float] = []
+        for call in calls:
+            call_serial, call_overlapped = self._call_costs(call)
+            serial += call_serial
+            costs.append(call_overlapped)
+        loads = [0.0] * self.max_workers
+        for cost in sorted(costs, reverse=True):
+            slot = loads.index(min(loads))
+            loads[slot] += cost
+        return serial, max(loads) if loads else 0.0
+
+    # -- batch execution ------------------------------------------------------
+
+    def compute_batch(self,
+                      calls: Sequence[BatchCall]) -> List[BatchOutcome]:
+        """Execute one wave of independent calls; outcomes in order."""
+        calls = list(calls)
+        outcomes: List[Optional[BatchOutcome]] = [None] * len(calls)
+        report = BatchReport(calls=len(calls), waves=1,
+                             workers=self.max_workers)
+        pending: List[Tuple[int, Future]] = []
+        pool = self._ensure_pool() if len(calls) > 1 else None
+        for index, call in enumerate(calls):
+            token = self._op_token(call) if pool is not None else None
+            if token is None or self._pool_broken:
+                outcomes[index] = self._execute_inline(call)
+                report.inline_calls += 1
+                continue
+            try:
+                assert pool is not None
+                future = pool.submit(
+                    _execute_remote, call.mode.value, token,
+                    call.reduce_to_scalar, call.channels, call.frames)
+            except Exception:
+                self._pool_broken = True
+                outcomes[index] = self._execute_inline(call)
+                report.inline_calls += 1
+                continue
+            pending.append((index, future))
+        for index, future in pending:
+            try:
+                kind, value = future.result()
+                outcomes[index] = self._outcome(kind, value)
+                report.pool_calls += 1
+            except Exception:
+                # Worker died or the payload would not round-trip:
+                # recompute inline, flag the pool, keep the batch whole.
+                self._pool_broken = True
+                outcomes[index] = self._execute_inline(calls[index])
+                report.inline_calls += 1
+        serial, pipelined = self._modeled_wave(calls)
+        report.modeled_serial_seconds = serial
+        report.modeled_pipelined_seconds = pipelined
+        self._account(report)
+        assert all(outcome is not None for outcome in outcomes)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _account(self, report: BatchReport) -> None:
+        self.last_report = report
+        self.total.calls += report.calls
+        self.total.waves += report.waves
+        self.total.pool_calls += report.pool_calls
+        self.total.inline_calls += report.inline_calls
+        self.total.modeled_serial_seconds += report.modeled_serial_seconds
+        self.total.modeled_pipelined_seconds += (
+            report.modeled_pipelined_seconds)
+
+    # -- whole-program execution ----------------------------------------------
+
+    @staticmethod
+    def _step_call(step: ProgramStep,
+                   planes: Dict[str, Frame]) -> BatchCall:
+        try:
+            frames = tuple(planes[name] for name in step.inputs)
+        except KeyError as missing:
+            raise ValueError(
+                f"program step {step.index} reads undefined plane "
+                f"{missing.args[0]!r}") from None
+        return BatchCall(mode=step.mode, op=step.op, frames=frames,
+                         channels=step.channels,
+                         reduce_to_scalar=step.reduce_to_scalar)
+
+    def run_program(self, program: CallProgram,
+                    inputs: Sequence[Frame]) -> ProgramOutcome:
+        """Execute a whole call program, wavefront by wavefront.
+
+        Steps inside one dependency level are mutually independent (the
+        RAW/WAW/WAR edges of
+        :func:`~repro.addresslib.program.dependency_edges` all cross
+        levels), so each level is one :meth:`compute_batch` wave.
+        Results are bit-exact with executing the steps in program order.
+        """
+        if len(inputs) != len(program.inputs):
+            raise ValueError(
+                f"program {program.name!r} takes {len(program.inputs)} "
+                f"inputs, got {len(inputs)}")
+        outcome = ProgramOutcome(
+            planes=dict(zip(program.inputs, inputs)))
+        for level in dependency_levels(program):
+            steps = [program.steps[index] for index in level]
+            batch = [self._step_call(step, outcome.planes)
+                     for step in steps]
+            results = self.compute_batch(batch)
+            for step, result in zip(steps, results):
+                if step.reduce_to_scalar:
+                    assert result.scalar is not None
+                    outcome.scalars[step.index] = result.scalar
+                else:
+                    assert result.frame is not None
+                    if step.output is not None:
+                        outcome.planes[step.output] = result.frame
+        return outcome

@@ -178,6 +178,110 @@ class EngineTimingModel:
                 + self.host_overhead_seconds_raw(config.fmt.strips,
                                                  config.images_in))
 
+    # -- strip-pipeline overlap model (block_A/block_B) ----------------------
+
+    def transfer_cycles_raw(self, pixels: int, strips: int, images_in: int,
+                            resident_images: int = 0) -> int:
+        """Input-phase cycles: payload words plus the strip jobs'
+        per-DMA overhead (no processing, no readback)."""
+        input_jobs = (images_in - resident_images) * strips
+        return (self.input_words_raw(pixels, images_in, resident_images)
+                + input_jobs * self.dma_overhead_cycles)
+
+    @staticmethod
+    def compute_cycles_raw(pixels: int) -> int:
+        """Processing cycles of the whole frame at the startpipeline's
+        PLC retirement rate (two pixels per cycle)."""
+        return -(-pixels // PLC_TICKS_PER_CYCLE)
+
+    def readback_cycles_raw(self, pixels: int, produces_image: bool) -> int:
+        """Result-phase cycles: readback payload plus its DMA job."""
+        return (self.readback_words_raw(pixels, produces_image)
+                + self.dma_overhead_cycles)
+
+    def serial_call_cycles_raw(self, pixels: int, strips: int,
+                               images_in: int, produces_image: bool,
+                               requires_full_frames: bool = False,
+                               resident_images: int = 0) -> int:
+        """The no-overlap (sum) model: every strip first transfers, then
+        processes -- transfer + compute + readback, nothing hidden.
+
+        This is what a single-buffered Image Level Controller would
+        cost; the paper's block_A/block_B alternation exists precisely
+        to beat it (:meth:`overlapped_call_cycles_raw`).
+        """
+        return (self.transfer_cycles_raw(pixels, strips, images_in,
+                                         resident_images)
+                + self.compute_cycles_raw(pixels)
+                + self.readback_cycles_raw(pixels, produces_image))
+
+    def overlapped_call_cycles_raw(self, pixels: int, strips: int,
+                                   images_in: int, produces_image: bool,
+                                   requires_full_frames: bool = False,
+                                   resident_images: int = 0) -> float:
+        """The double-buffered pipeline: while block_A processes strip
+        ``k``, block_B receives strip ``k+1``, so the steady state pays
+        ``max(transfer, compute)`` per strip instead of their sum:
+
+        ``t + (n - 1) * max(t, c) + c + readback``
+
+        with per-strip transfer ``t`` and compute ``c`` over ``n``
+        strips.  Special inter calls (``requires_full_frames``) get no
+        credit: processing may only start once both images are fully
+        resident, which is exactly the serial sum.  Never exceeds
+        :meth:`serial_call_cycles_raw`.
+        """
+        transfer = self.transfer_cycles_raw(pixels, strips, images_in,
+                                            resident_images)
+        compute = self.compute_cycles_raw(pixels)
+        readback = self.readback_cycles_raw(pixels, produces_image)
+        if requires_full_frames:
+            return float(transfer + compute + readback)
+        n = max(strips, 1)
+        t = transfer / n
+        c = compute / n
+        return t + (n - 1) * max(t, c) + c + readback
+
+    def overlap_efficiency_raw(self, pixels: int, strips: int,
+                               images_in: int, produces_image: bool,
+                               requires_full_frames: bool = False,
+                               resident_images: int = 0) -> float:
+        """Fraction of the serial (sum) time the pipeline hides:
+        ``1 - overlapped / serial``, in ``[0, 1)``."""
+        serial = self.serial_call_cycles_raw(
+            pixels, strips, images_in, produces_image,
+            requires_full_frames, resident_images)
+        if serial <= 0:
+            return 0.0
+        overlapped = self.overlapped_call_cycles_raw(
+            pixels, strips, images_in, produces_image,
+            requires_full_frames, resident_images)
+        return 1.0 - overlapped / serial
+
+    def serial_call_seconds_raw(self, pixels: int, strips: int,
+                                images_in: int, produces_image: bool,
+                                requires_full_frames: bool = False,
+                                resident_images: int = 0) -> float:
+        """Host-visible call time under the no-overlap (sum) model."""
+        cycles = self.serial_call_cycles_raw(
+            pixels, strips, images_in, produces_image,
+            requires_full_frames, resident_images)
+        return (cycles / self.clock_hz
+                + self.host_overhead_seconds_raw(strips, images_in,
+                                                 resident_images))
+
+    def overlapped_call_seconds_raw(self, pixels: int, strips: int,
+                                    images_in: int, produces_image: bool,
+                                    requires_full_frames: bool = False,
+                                    resident_images: int = 0) -> float:
+        """Host-visible call time under the double-buffered pipeline."""
+        cycles = self.overlapped_call_cycles_raw(
+            pixels, strips, images_in, produces_image,
+            requires_full_frames, resident_images)
+        return (cycles / self.clock_hz
+                + self.host_overhead_seconds_raw(strips, images_in,
+                                                 resident_images))
+
     # -- section 4.1 claims -------------------------------------------------------
 
     def input_transfer_cycles(self, config: EngineConfig) -> int:

@@ -69,6 +69,21 @@ class TestRegistry:
         with pytest.raises(KeyError):
             kernel_by_name("boxcar7")
 
+    def test_lookup_is_memoized_identity(self):
+        # Repeated lookups return the *same* instance: the registry is
+        # the identity anchor the residency cache and the scheduler's
+        # worker dispatch compare ops against.
+        for name in KERNEL_FACTORIES:
+            assert kernel_by_name(name) is kernel_by_name(name)
+        assert (kernel_by_name("gaussian3")
+                is kernel_by_name(" GAUSSIAN3 "))
+
+    def test_factories_still_build_fresh_instances(self):
+        # The direct factories stay un-memoized (callers may mutate or
+        # wrap); only the by-name registry canonicalises.
+        from repro.addresslib import gaussian3_op
+        assert gaussian3_op() is not gaussian3_op()
+
 
 class TestOnTheEngine:
     @pytest.mark.parametrize("name", sorted(KERNEL_FACTORIES))

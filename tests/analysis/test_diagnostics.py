@@ -37,7 +37,7 @@ class TestCatalogue:
         for rule_id, rule in RULES.items():
             assert rule.rule_id == rule_id
             assert rule.layer in ("configuration", "capacity", "hazard",
-                                  "liveness", "fast-path")
+                                  "liveness", "fast-path", "scheduling")
             assert rule.title
 
     def test_diagnostic_format_line(self):

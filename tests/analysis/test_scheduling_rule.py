@@ -1,0 +1,51 @@
+"""SCH001: flagging programs with zero exploitable call parallelism."""
+
+from repro.addresslib import (AddressLib, INTER_ADD, INTRA_BOX3,
+                              INTRA_GRAD, INTRA_MEDIAN3, INTRA_SOBEL_X,
+                              INTRA_SOBEL_Y, trace_program)
+from repro.analysis import analyze_config, analyze_program
+from repro.analysis.cli import SELFTEST_CASES
+from repro.core import intra_config
+from repro.image import QCIF, Frame
+
+
+def _chain_program():
+    def body(lib: AddressLib, frame: Frame) -> Frame:
+        edges = lib.intra(INTRA_GRAD, frame)
+        smooth = lib.intra(INTRA_BOX3, edges)
+        return lib.intra(INTRA_MEDIAN3, smooth)
+    return trace_program("chain", body, Frame(QCIF))
+
+
+def _diamond_program():
+    def body(lib: AddressLib, frame: Frame) -> Frame:
+        gx = lib.intra(INTRA_SOBEL_X, frame)
+        gy = lib.intra(INTRA_SOBEL_Y, frame)
+        return lib.inter(INTER_ADD, gx, gy)
+    return trace_program("diamond", body, Frame(QCIF))
+
+
+class TestSerialisationRule:
+    def test_fires_on_straight_chain(self):
+        report = analyze_program(_chain_program())
+        hits = report.by_rule("SCH001")
+        assert len(hits) == 1
+        assert "serialises" in hits[0].message
+        assert report.ok  # informational only
+
+    def test_silent_on_parallelisable_program(self):
+        report = analyze_program(_diamond_program())
+        assert not report.by_rule("SCH001")
+
+    def test_silent_on_single_call(self):
+        # The driver pre-flights every call as a one-step program; a
+        # lone call must not be nagged about parallelism.
+        report = analyze_config(intra_config(INTRA_BOX3, QCIF))
+        assert not report.by_rule("SCH001")
+
+    def test_selftest_covers_scheduling_class(self):
+        builder, rule_id = SELFTEST_CASES["scheduling"]
+        assert rule_id == "SCH001"
+        program, params = builder()
+        report = analyze_program(program, params)
+        assert report.by_rule("SCH001")

@@ -1,0 +1,116 @@
+"""Bounding the FrameResidencyCache: release, generations, reporting.
+
+The cache holds strong references to the frames it models as resident
+in the ZBT banks.  Unbounded, a long-running host would pin every frame
+it ever chained; these tests cover the two bounding mechanisms --
+explicit :meth:`release` and ``max_age`` generation expiry -- plus the
+surfacing of the cache counters in :class:`RunReport`.
+"""
+
+from repro.addresslib import (ChannelSet, INTER_ABSDIFF, INTRA_BOX3,
+                              INTRA_SOBEL_X)
+from repro.core import inter_config, intra_config
+from repro.host import (EngineBackend, FrameResidencyCache,
+                        engine_platform, software_platform)
+from repro.image import ImageFormat, noise_frame
+
+QCIF = ImageFormat("QCIF", 176, 144)
+
+
+class TestRelease:
+    def test_released_input_no_longer_resident(self):
+        backend = EngineBackend(chain_frames=True)
+        frame = noise_frame(QCIF, seed=1)
+        backend.intra(INTRA_BOX3, frame, ChannelSet.Y)
+        assert backend.residency.held_frames == 2  # input + result
+        backend.residency.release(frame)
+        assert backend.residency.evictions == 1
+        flags, copy_cycles = backend.residency.plan(
+            intra_config(INTRA_BOX3, QCIF), [frame])
+        assert flags == [False]
+        assert copy_cycles == 0
+
+    def test_release_keeps_slot_indices(self):
+        cache = FrameResidencyCache()
+        a = noise_frame(QCIF, seed=2)
+        b = noise_frame(QCIF, seed=3)
+        result = noise_frame(QCIF, seed=4)
+        config = inter_config(INTER_ABSDIFF, QCIF)
+        cache.record_call(config, [a, b], result)
+        cache.release(a)
+        # Slot 1 must still hit even though slot 0 was dropped.
+        flags, _ = cache.plan(config, [b, b])
+        assert flags[0] is False
+
+    def test_release_of_result_counts_eviction(self):
+        cache = FrameResidencyCache()
+        config = intra_config(INTRA_BOX3, QCIF)
+        frame = noise_frame(QCIF, seed=5)
+        result = noise_frame(QCIF, seed=6)
+        cache.record_call(config, [frame], result)
+        assert cache.held_frames == 2
+        cache.release(result)
+        assert cache.held_frames == 1
+        assert cache.evictions == 1
+
+
+class TestGenerations:
+    def test_state_expires_after_max_age_generations(self):
+        cache = FrameResidencyCache(max_age=2)
+        config = intra_config(INTRA_BOX3, QCIF)
+        frame = noise_frame(QCIF, seed=7)
+        result = noise_frame(QCIF, seed=8)
+        cache.record_call(config, [frame], result)
+        cache.new_generation()
+        flags, _ = cache.plan(config, [frame])
+        assert flags == [True]  # one generation old: still resident
+        cache.new_generation()
+        flags, _ = cache.plan(config, [frame])
+        assert flags == [False]  # two generations old: expired
+        assert cache.evictions == 2
+        assert cache.held_frames == 0
+
+    def test_record_refreshes_age(self):
+        cache = FrameResidencyCache(max_age=1)
+        config = intra_config(INTRA_BOX3, QCIF)
+        frame = noise_frame(QCIF, seed=9)
+        cache.record_call(config, [frame], None)
+        cache.new_generation()
+        cache.record_call(config, [frame], None)  # re-recorded: fresh
+        flags, _ = cache.plan(config, [frame])
+        assert flags == [True]
+
+    def test_no_max_age_never_expires(self):
+        cache = FrameResidencyCache()
+        config = intra_config(INTRA_BOX3, QCIF)
+        frame = noise_frame(QCIF, seed=10)
+        cache.record_call(config, [frame], None)
+        for _ in range(100):
+            cache.new_generation()
+        flags, _ = cache.plan(config, [frame])
+        assert flags == [True]
+        assert cache.evictions == 0
+
+
+class TestRunReportSurfacing:
+    def test_report_carries_residency_counters(self):
+        backend = EngineBackend(chain_frames=True)
+        runtime = engine_platform(backend=backend)
+        frame = noise_frame(QCIF, seed=11)
+        runtime.lib.intra(INTRA_BOX3, frame)
+        runtime.lib.intra(INTRA_SOBEL_X, frame)  # same input: a hit
+        report = runtime.report()
+        assert report.residency_hits == 1
+        assert report.residency_misses == 1
+        assert report.residency_result_reuses == 0
+        backend.residency.release(frame)
+        assert runtime.report().residency_evictions == 1
+
+    def test_software_platform_reports_zero_counters(self):
+        runtime = software_platform()
+        frame = noise_frame(QCIF, seed=12)
+        runtime.lib.intra(INTRA_BOX3, frame)
+        report = runtime.report()
+        assert report.residency_hits == 0
+        assert report.residency_misses == 0
+        assert report.residency_evictions == 0

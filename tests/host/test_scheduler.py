@@ -1,0 +1,279 @@
+"""The pipelined call scheduler: bit-exactness, determinism, accounting.
+
+The scheduler may execute calls in worker processes and in any
+completion order, but the results handed back must be *indistinguishable*
+from serial execution: identical frames, identical scalars, identical
+call records.  This harness drives the same randomized corpus recipe as
+the fast-path equivalence suite (seed family 0xFA57) through batched
+and serial execution and compares everything.
+"""
+
+import random
+
+import pytest
+
+from repro.addresslib import (AddressLib, BatchCall, INTER_ABSDIFF,
+                              INTER_ADD, INTER_OPS, INTRA_BOX3, INTRA_GRAD,
+                              INTRA_MEDIAN3, INTRA_OPS, INTRA_SOBEL_X,
+                              INTRA_SOBEL_Y, SoftwareBackend, VectorExecutor,
+                              dependency_edges, dependency_levels,
+                              kernel_by_name, threshold_op, trace_program)
+from repro.host import CallScheduler, EngineBackend
+from repro.image import ImageFormat, noise_frame
+
+_INTRA = sorted(INTRA_OPS.values(), key=lambda op: op.name)
+_INTER = sorted(INTER_OPS.values(), key=lambda op: op.name)
+
+SHARDS = 8
+CASES_PER_SHARD = 26
+
+QCIF = ImageFormat("QCIF", 176, 144)
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    with CallScheduler(max_workers=2) as sched:
+        yield sched
+
+
+def _random_batch_call(rng):
+    """One corpus case as a batch call (the 0xFA57 recipe's geometry)."""
+    width = rng.randrange(4, 25)
+    height = rng.choice([8, 16, 24, 32, 33, 40, 48])
+    fmt = ImageFormat(f"P{width}x{height}", width, height)
+    frame_a = noise_frame(fmt, seed=rng.randrange(10_000))
+    if rng.random() < 0.5:
+        return BatchCall.intra(rng.choice(_INTRA), frame_a)
+    frame_b = noise_frame(fmt, seed=rng.randrange(10_000))
+    if rng.random() < 0.3:
+        return BatchCall.inter_reduce(rng.choice(_INTER), frame_a,
+                                      frame_b)
+    return BatchCall.inter(rng.choice(_INTER), frame_a, frame_b)
+
+
+def _serial_reference(call):
+    if call.reduce_to_scalar:
+        return VectorExecutor.inter_reduce(call.op, call.frames[0],
+                                           call.frames[1], call.channels)
+    if len(call.frames) == 2:
+        return VectorExecutor.inter(call.op, call.frames[0],
+                                    call.frames[1], call.channels)
+    return VectorExecutor.intra(call.op, call.frames[0], call.channels)
+
+
+def _assert_same(got, want):
+    if isinstance(want, int):
+        assert got == want
+    else:
+        assert got.equals(want)
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("shard", range(SHARDS))
+    def test_scheduled_matches_serial_executor(self, shard, scheduler):
+        rng = random.Random(0xFA57 + shard)
+        calls = [_random_batch_call(rng) for _ in range(CASES_PER_SHARD)]
+        lib = AddressLib(SoftwareBackend())
+        results = lib.run_batch(calls, scheduler=scheduler)
+        assert len(results) == len(calls)
+        for call, got in zip(calls, results):
+            _assert_same(got, _serial_reference(call))
+
+    def test_deterministic_across_worker_counts(self):
+        rng = random.Random(0xFA57)
+        calls = [_random_batch_call(rng) for _ in range(12)]
+        reference = None
+        for workers in range(1, 5):
+            with CallScheduler(max_workers=workers) as sched:
+                lib = AddressLib(SoftwareBackend())
+                results = lib.run_batch(calls, scheduler=sched)
+            if reference is None:
+                reference = results
+            else:
+                for got, want in zip(results, reference):
+                    _assert_same(got, want)
+
+
+class TestRecordParity:
+    def _calls(self):
+        a = noise_frame(QCIF, seed=1)
+        b = noise_frame(QCIF, seed=2)
+        return [BatchCall.intra(INTRA_SOBEL_X, a),
+                BatchCall.intra(INTRA_SOBEL_Y, a),
+                BatchCall.inter(INTER_ADD, a, b),
+                BatchCall.inter_reduce(INTER_ABSDIFF, a, b)]
+
+    def test_software_records_identical(self, scheduler):
+        serial = AddressLib(SoftwareBackend())
+        batched = AddressLib(SoftwareBackend())
+        serial_results = serial.run_batch(self._calls())
+        batched_results = batched.run_batch(self._calls(),
+                                            scheduler=scheduler)
+        for got, want in zip(batched_results, serial_results):
+            _assert_same(got, want)
+        assert len(serial.log.records) == len(batched.log.records)
+        for rs, rb in zip(serial.log.records, batched.log.records):
+            assert rs.op_name == rb.op_name
+            assert rs.mode == rb.mode
+            assert rs.pixels == rb.pixels
+            assert vars(rs.profile) == vars(rb.profile)
+
+    def test_engine_pricing_identical(self, scheduler):
+        serial = AddressLib(EngineBackend())
+        batched = AddressLib(EngineBackend())
+        serial_results = serial.run_batch(self._calls())
+        batched_results = batched.run_batch(self._calls(),
+                                            scheduler=scheduler)
+        for got, want in zip(batched_results, serial_results):
+            _assert_same(got, want)
+        for rs, rb in zip(serial.log.records, batched.log.records):
+            assert rs.op_name == rb.op_name
+            assert rs.extra["call_seconds"] == pytest.approx(
+                rb.extra["call_seconds"], abs=0.0)
+            assert rs.extra["board_seconds"] == pytest.approx(
+                rb.extra["board_seconds"], abs=0.0)
+            assert rs.extra["pci_words"] == rb.extra["pci_words"]
+        assert (serial.backend.driver.calls_submitted
+                == batched.backend.driver.calls_submitted)
+        assert (serial.backend.driver.interrupts_serviced
+                == batched.backend.driver.interrupts_serviced)
+
+    def test_parallel_wave_invalidates_residency(self, scheduler):
+        backend = EngineBackend(chain_frames=True)
+        lib = AddressLib(backend)
+        frame = noise_frame(QCIF, seed=3)
+        lib.intra(INTRA_BOX3, frame)
+        assert backend.residency.held_frames > 0
+        lib.run_batch([BatchCall.intra(INTRA_SOBEL_X, frame),
+                       BatchCall.intra(INTRA_SOBEL_Y, frame)],
+                      scheduler=scheduler)
+        # The wave dropped the cached bank state, and batched records
+        # never claim residency.
+        batch_records = lib.log.records[-2:]
+        assert all(r.extra["resident_inputs"] == 0.0
+                   for r in batch_records)
+
+    def test_single_call_batch_stays_serial(self, scheduler):
+        lib = AddressLib(SoftwareBackend())
+        frame = noise_frame(QCIF, seed=4)
+        before = scheduler.total.calls
+        results = lib.run_batch([BatchCall.intra(INTRA_BOX3, frame)],
+                                scheduler=scheduler)
+        assert results[0].equals(VectorExecutor.intra(INTRA_BOX3, frame))
+        # One call has nothing to overlap with: no scheduler involvement.
+        assert scheduler.total.calls == before
+
+
+class TestOpShipping:
+    def test_registry_ops_ship_to_workers(self, scheduler):
+        frame = noise_frame(QCIF, seed=5)
+        assert CallScheduler._op_token(
+            BatchCall.intra(INTRA_BOX3, frame)) == "intra_box3"
+        kernel = kernel_by_name("gaussian3")
+        assert CallScheduler._op_token(
+            BatchCall.intra(kernel, frame)) == "kernel_gaussian3"
+
+    def test_parameterized_op_runs_inline(self, scheduler):
+        # threshold_op builds a fresh op: no registry identity, so the
+        # scheduler must not ship it by name.
+        frame = noise_frame(QCIF, seed=6)
+        call = BatchCall.intra(threshold_op(100), frame)
+        assert CallScheduler._op_token(call) is None
+        before = scheduler.total.inline_calls
+        lib = AddressLib(SoftwareBackend())
+        results = lib.run_batch(
+            [call, BatchCall.intra(INTRA_BOX3, frame)],
+            scheduler=scheduler)
+        assert scheduler.total.inline_calls > before
+        assert results[0].equals(
+            VectorExecutor.intra(call.op, frame))
+
+    def test_impostor_op_with_registry_name_runs_inline(self):
+        # A custom op that *claims* a registry name must execute its own
+        # code, never the registry's.
+        import dataclasses
+        impostor = dataclasses.replace(threshold_op(9), name="intra_box3")
+        frame = noise_frame(QCIF, seed=7)
+        call = BatchCall.intra(impostor, frame)
+        assert CallScheduler._op_token(call) is None
+
+
+class TestProgramExecution:
+    def _program_and_reference(self):
+        src = noise_frame(QCIF, seed=8)
+
+        def body(lib, frame):
+            gx = lib.intra(INTRA_SOBEL_X, frame)
+            gy = lib.intra(INTRA_SOBEL_Y, frame)
+            mag = lib.inter(INTER_ADD, gx, gy)
+            smooth = lib.intra(INTRA_BOX3, mag)
+            lib.inter_reduce(INTER_ABSDIFF, smooth, frame)
+            return smooth
+
+        program = trace_program("edge_energy", body, src)
+        gx = VectorExecutor.intra(INTRA_SOBEL_X, src)
+        gy = VectorExecutor.intra(INTRA_SOBEL_Y, src)
+        mag = VectorExecutor.inter(INTER_ADD, gx, gy)
+        smooth = VectorExecutor.intra(INTRA_BOX3, mag)
+        sad = VectorExecutor.inter_reduce(INTER_ABSDIFF, smooth, src)
+        return program, src, smooth, sad
+
+    def test_dependency_structure(self):
+        program, _, _, _ = self._program_and_reference()
+        assert dependency_edges(program) == [(0, 2), (1, 2), (2, 3),
+                                             (3, 4)]
+        assert dependency_levels(program) == [[0, 1], [2], [3], [4]]
+
+    def test_run_program_bit_exact(self, scheduler):
+        program, src, smooth, sad = self._program_and_reference()
+        outcome = scheduler.run_program(program, [src])
+        assert outcome.results(program)[0].equals(smooth)
+        assert outcome.scalars == {4: sad}
+
+    def test_run_program_rejects_wrong_arity(self, scheduler):
+        program, src, _, _ = self._program_and_reference()
+        with pytest.raises(ValueError):
+            scheduler.run_program(program, [src, src])
+
+
+class TestModeledTiming:
+    def test_modeled_pipelined_never_exceeds_serial(self, scheduler):
+        rng = random.Random(0xFA57 + 99)
+        calls = [_random_batch_call(rng) for _ in range(16)]
+        lib = AddressLib(SoftwareBackend())
+        lib.run_batch(calls, scheduler=scheduler)
+        report = scheduler.last_report
+        assert report is not None
+        assert (report.modeled_pipelined_seconds
+                <= report.modeled_serial_seconds + 1e-12)
+        assert report.modeled_speedup >= 1.0
+
+    def test_many_workers_shrink_makespan(self):
+        frame = noise_frame(QCIF, seed=9)
+        calls = [BatchCall.intra(INTRA_BOX3, frame) for _ in range(16)]
+        makespans = []
+        for workers in (1, 4):
+            sched = CallScheduler(max_workers=workers)
+            serial, pipelined = sched._modeled_wave(calls)
+            makespans.append(pipelined)
+            assert pipelined <= serial + 1e-12
+        assert makespans[1] < makespans[0] / 3.0
+
+
+class TestInlineFallback:
+    def test_broken_pool_still_returns_exact_results(self):
+        sched = CallScheduler(max_workers=2)
+        sched._pool_broken = True  # simulate a dead worker pool
+        frame = noise_frame(QCIF, seed=10)
+        lib = AddressLib(SoftwareBackend())
+        results = lib.run_batch(
+            [BatchCall.intra(INTRA_BOX3, frame),
+             BatchCall.intra(INTRA_GRAD, frame),
+             BatchCall.intra(INTRA_MEDIAN3, frame)],
+            scheduler=sched)
+        assert results[0].equals(VectorExecutor.intra(INTRA_BOX3, frame))
+        assert results[1].equals(VectorExecutor.intra(INTRA_GRAD, frame))
+        assert results[2].equals(
+            VectorExecutor.intra(INTRA_MEDIAN3, frame))
+        assert sched.total.pool_calls == 0
+        assert sched.total.inline_calls == 3

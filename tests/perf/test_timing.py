@@ -141,3 +141,74 @@ class TestResidentInputs:
     def test_resident_count_validation(self):
         with pytest.raises(ValueError):
             MODEL.input_words_raw(100, 1, resident_images=2)
+
+
+class TestStripPipelineOverlap:
+    """The block_A/block_B double-buffer model (section 4.1)."""
+
+    GEOMETRIES = [
+        (176, 144), (352, 288), (24, 48), (20, 33), (4, 8), (24, 16),
+    ]
+
+    @pytest.mark.parametrize("width,height", GEOMETRIES)
+    @pytest.mark.parametrize("images_in,produces_image",
+                             [(1, True), (2, True), (2, False)])
+    def test_overlapped_never_exceeds_serial(self, width, height,
+                                             images_in, produces_image):
+        fmt = ImageFormat(f"P{width}x{height}", width, height)
+        serial = MODEL.serial_call_cycles_raw(
+            fmt.pixels, fmt.strips, images_in, produces_image)
+        overlapped = MODEL.overlapped_call_cycles_raw(
+            fmt.pixels, fmt.strips, images_in, produces_image)
+        assert overlapped <= serial + 1e-9
+        assert overlapped > 0
+
+    @pytest.mark.parametrize("width,height", GEOMETRIES)
+    def test_efficiency_in_unit_interval(self, width, height):
+        fmt = ImageFormat(f"P{width}x{height}", width, height)
+        efficiency = MODEL.overlap_efficiency_raw(
+            fmt.pixels, fmt.strips, 1, True)
+        assert 0.0 <= efficiency < 1.0
+
+    def test_full_frame_ops_get_no_overlap_credit(self):
+        fmt = ImageFormat("P24x48", 24, 48)
+        serial = MODEL.serial_call_cycles_raw(
+            fmt.pixels, fmt.strips, 2, True, requires_full_frames=True)
+        overlapped = MODEL.overlapped_call_cycles_raw(
+            fmt.pixels, fmt.strips, 2, True, requires_full_frames=True)
+        assert overlapped == float(serial)
+        assert MODEL.overlap_efficiency_raw(
+            fmt.pixels, fmt.strips, 2, True,
+            requires_full_frames=True) == 0.0
+
+    def test_more_strips_hide_more_transfer(self):
+        # Same pixel count split into more strips overlaps better: the
+        # first-strip fill and last-strip drain shrink.
+        tall = ImageFormat("P16x96", 16, 96)     # 6 strips
+        short = ImageFormat("P48x32", 48, 32)    # 2 strips, same pixels
+        assert tall.pixels == short.pixels
+        eff_tall = MODEL.overlap_efficiency_raw(
+            tall.pixels, tall.strips, 1, True)
+        eff_short = MODEL.overlap_efficiency_raw(
+            short.pixels, short.strips, 1, True)
+        assert eff_tall > eff_short
+
+    def test_phases_sum_to_serial(self):
+        fmt = ImageFormat("P24x48", 24, 48)
+        transfer = MODEL.transfer_cycles_raw(fmt.pixels, fmt.strips, 1)
+        compute = MODEL.compute_cycles_raw(fmt.pixels)
+        readback = MODEL.readback_cycles_raw(fmt.pixels, True)
+        assert (transfer + compute + readback
+                == MODEL.serial_call_cycles_raw(fmt.pixels, fmt.strips,
+                                                1, True))
+
+    def test_seconds_variants_include_host_overhead(self):
+        fmt = ImageFormat("P24x48", 24, 48)
+        serial_s = MODEL.serial_call_seconds_raw(
+            fmt.pixels, fmt.strips, 1, True)
+        overlapped_s = MODEL.overlapped_call_seconds_raw(
+            fmt.pixels, fmt.strips, 1, True)
+        host = MODEL.host_overhead_seconds_raw(fmt.strips, 1)
+        assert serial_s > host
+        assert overlapped_s > host
+        assert overlapped_s <= serial_s
