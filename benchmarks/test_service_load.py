@@ -1,0 +1,117 @@
+"""Experiment SERVICE -- open-loop load sweep through the front end.
+
+A seeded Poisson arrival process offers QCIF gradient calls to an
+:class:`~repro.service.EngineService` at three fractions of the modeled
+engine capacity (underload, near-saturation, overload).  Everything is
+measured on the modeled clock, so the sweep is deterministic and
+machine-independent.
+
+What must hold:
+
+* no request is shed at 0.5x or 0.9x capacity;
+* at 1.5x capacity admission control sheds (reject rate > 0) instead of
+  letting the queue grow without bound, and the served throughput stays
+  pinned at the modeled capacity;
+* modeled p95 latency is monotone in offered load.
+
+Results land in ``BENCH_service.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import random
+
+from repro.addresslib import BatchCall, INTRA_GRAD
+from repro.image import ImageFormat, noise_frame
+from repro.perf import format_table
+from repro.service import AdmissionPolicy, EngineService
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+QCIF = ImageFormat("QCIF", 176, 144)
+
+REQUESTS = 120
+LOAD_LEVELS = (0.5, 0.9, 1.5)
+#: Backlog budget for INTERACTIVE, in units of one call's modeled cost
+#: (STANDARD requests, which the sweep submits, get 0.75 of it).
+BUDGET_CALLS = 20.0
+SEED = 0x5E2F
+
+
+def _sweep_call(rng):
+    return BatchCall.intra(INTRA_GRAD,
+                           noise_frame(QCIF, seed=rng.randrange(16)))
+
+
+def _run_level(load, call_cost):
+    """Serve REQUESTS Poisson arrivals at ``load`` x capacity."""
+    rng = random.Random(SEED)
+    service = EngineService(
+        queue_depth=256,
+        policy=AdmissionPolicy(
+            deadline_budget_seconds=BUDGET_CALLS * call_cost))
+    rate = load / call_cost  # capacity is 1/cost calls per second
+    arrival = 0.0
+    for _ in range(REQUESTS):
+        arrival += rng.expovariate(rate)
+        service.run_until(arrival)
+        service.submit(_sweep_call(rng), arrival_seconds=arrival)
+    report = service.drain()
+    return {
+        "load": load,
+        "offered_rate_per_s": rate,
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "reject_rate": report.reject_rate,
+        "throughput_per_s": report.completed / report.clock_seconds,
+        "p50_ms": report.latency.p50 * 1e3,
+        "p95_ms": report.latency.p95 * 1e3,
+        "queue_high_water": report.queue_high_water,
+        "waves": report.waves,
+        "coalesced_requests": report.coalesced_requests,
+    }
+
+
+def test_service_load_sweep(save_report):
+    probe = EngineService()
+    call_cost = probe.admission.price(
+        _sweep_call(random.Random(SEED)))[1]
+    capacity = 1.0 / call_cost
+
+    levels = [_run_level(load, call_cost) for load in LOAD_LEVELS]
+    under, near, over = levels
+
+    # Everything offered below capacity is served...
+    assert under["rejected"] == 0 and near["rejected"] == 0
+    assert under["completed"] == near["completed"] == REQUESTS
+    # ...while overload is shed at admission, never queued to rot.
+    assert over["rejected"] > 0
+    assert over["completed"] + over["rejected"] == REQUESTS
+    # Served throughput at overload is pinned at the modeled capacity.
+    assert over["throughput_per_s"] <= capacity * 1.01
+    assert over["throughput_per_s"] >= capacity * 0.80
+    # Modeled latency degrades monotonically with offered load.
+    assert (under["p95_ms"] <= near["p95_ms"] <= over["p95_ms"])
+
+    payload = {
+        "requests_per_level": REQUESTS,
+        "mean_call_cost_ms": call_cost * 1e3,
+        "capacity_calls_per_s": capacity,
+        "budget_calls": BUDGET_CALLS,
+        "seed": SEED,
+        "levels": levels,
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    save_report("service_load", format_table(
+        ["load", "offered/s", "served", "shed", "reject", "p50", "p95"],
+        [(f"{lvl['load']:.1f}x", f"{lvl['offered_rate_per_s']:.1f}",
+          lvl["completed"], lvl["rejected"],
+          f"{100 * lvl['reject_rate']:.1f}%",
+          f"{lvl['p50_ms']:.2f} ms", f"{lvl['p95_ms']:.2f} ms")
+         for lvl in levels],
+        title=(f"Open-loop service sweep, {REQUESTS} requests/level, "
+               f"modeled capacity {capacity:.1f} calls/s "
+               f"(call cost {call_cost * 1e3:.2f} ms)")))

@@ -12,6 +12,8 @@ The package rebuilds the paper's whole system in Python:
 * :mod:`repro.host` -- the host driver, the engine-backed AddressLib
   backend and the evaluation platforms;
 * :mod:`repro.perf` -- CPU and engine timing models, memory accounting;
+* :mod:`repro.service` -- the serving front end: admission control,
+  priority queueing, deadlines and micro-batching over the engine;
 * :mod:`repro.gme` -- the MPEG-7 global motion estimation / mosaicing
   evaluation workload (Table 3);
 * :mod:`repro.segmentation` -- the video object segmentation substrate
@@ -37,4 +39,5 @@ __all__ = [
     "image",
     "perf",
     "segmentation",
+    "service",
 ]

@@ -20,6 +20,7 @@ from .diagnostics import (AnalysisReport, Diagnostic, FastPathPrediction,
                           ProgramCheckError, Severity)
 from .params import EngineParams
 from .rules import RULES, Rule
+from .service import critical_path_cycles, step_cycles
 
 __all__ = [
     "AnalysisReport",
@@ -34,6 +35,8 @@ __all__ = [
     "analyze_config",
     "analyze_program",
     "check_program",
+    "critical_path_cycles",
     "predict_fast_path",
     "step_config",
+    "step_cycles",
 ]

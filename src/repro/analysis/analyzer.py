@@ -31,6 +31,7 @@ from .hazards import dataflow_rules
 from .params import EngineParams
 from .rules import _diag, capacity_rules, fast_path_rules, liveness_rules
 from .scheduling import scheduling_rules
+from .service import service_rules
 
 _DEFAULT_PARAMS = EngineParams()
 
@@ -65,6 +66,7 @@ def analyze_program(program: CallProgram,
     report = AnalysisReport(program_name=program.name)
     report.extend(dataflow_rules(program))
     report.extend(scheduling_rules(program))
+    report.extend(service_rules(program, params))
     for step in program.steps:
         try:
             config = step_config(step)

@@ -147,6 +147,16 @@ def _serial_chain() -> Tuple[CallProgram, EngineParams]:
     return trace_program("serial_chain", body, Frame(QCIF)), EngineParams()
 
 
+def _unmeetable_deadline() -> Tuple[CallProgram, EngineParams]:
+    """A three-call QCIF chain under a budget one lone call already
+    blows: the modeled critical path must be flagged (SVC001)."""
+    program, _ = _serial_chain()
+    return (CallProgram(name="unmeetable_deadline", fmt=program.fmt,
+                        inputs=program.inputs, steps=program.steps,
+                        results=program.results),
+            EngineParams(deadline_cycles=10_000))
+
+
 #: rule class -> (builder, rule id that must fire).
 SELFTEST_CASES: Dict[str, Tuple[
         Callable[[], Tuple[CallProgram, EngineParams]], str]] = {
@@ -155,6 +165,7 @@ SELFTEST_CASES: Dict[str, Tuple[
     "liveness": (_broken_liveness, "LIV001"),
     "fast-path": (_broken_fast_path, "FPA001"),
     "scheduling": (_serial_chain, "SCH001"),
+    "service": (_unmeetable_deadline, "SVC001"),
 }
 
 
@@ -204,6 +215,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--selftest", action="store_true",
                         help="seed a broken variant of each rule class "
                              "and require the analyzer to flag it")
+    parser.add_argument("--deadline-cycles", type=int, default=None,
+                        metavar="N",
+                        help="flag programs whose modeled critical-path "
+                             "cost exceeds N engine cycles (SVC001)")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings too")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -224,9 +239,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown program(s): {', '.join(unknown)}; known: "
                      f"{', '.join(sorted(EXAMPLE_PROGRAMS))}")
 
+    params = (EngineParams(deadline_cycles=args.deadline_cycles)
+              if args.deadline_cycles is not None else None)
     exit_code = 0
     for name in names:
-        report = analyze_program(EXAMPLE_PROGRAMS[name]())
+        report = analyze_program(EXAMPLE_PROGRAMS[name](), params)
         _print_report(report, args.verbose)
         if report.errors or (args.strict and report.warnings):
             exit_code = 1

@@ -37,6 +37,9 @@ class EngineParams:
     #: Per-call cycle safety bound; ``None`` means the engine default
     #: (:func:`repro.core.constraints.default_max_cycles`).
     max_cycles: Optional[int] = None
+    #: Service deadline budget for a whole program, in engine cycles;
+    #: ``None`` disables the SVC001 critical-path check.
+    deadline_cycles: Optional[int] = None
 
     @classmethod
     def from_engine(cls, engine: "AddressEngine") -> "EngineParams":

@@ -82,6 +82,9 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
     Rule("SCH001", Severity.INFO, "scheduling",
          "dependency graph fully serialises: no exploitable call "
          "parallelism"),
+    Rule("SVC001", Severity.INFO, "service",
+         "modeled critical-path cost exceeds the deadline-cycles "
+         "budget"),
 )}
 
 #: Fallback reason code -> the FPA rule that reports it.

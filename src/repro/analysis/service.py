@@ -1,0 +1,80 @@
+"""Service-level rules (SVC001): will the program meet its deadline?
+
+The service front end (:mod:`repro.service`) admits work against a
+deadline budget using the closed-form timing model.  A call *program*
+has a static analogue: its modeled critical-path cost -- the cheapest
+completion any scheduler could reach with unlimited engines -- is a
+lower bound on its latency.  If that bound already exceeds the deadline
+budget the program is asked to meet, no amount of sharding or batching
+will save it; SVC001 surfaces that before anything is enqueued.
+
+The per-step cycle counts come from the same
+:class:`~repro.perf.timing.EngineTimingModel` arithmetic the driver and
+the admission controller price with, so the static verdict cannot drift
+from the runtime accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..addresslib.program import CallProgram, ProgramStep, dependency_edges
+from ..perf.timing import EngineTimingModel
+from .diagnostics import Diagnostic
+from .params import EngineParams
+from .rules import _diag
+
+_TIMING = EngineTimingModel()
+
+
+def step_cycles(step: ProgramStep,
+                timing: EngineTimingModel = _TIMING) -> int:
+    """Modeled engine cycles of one program step."""
+    resident = sum(step.resident) if step.resident is not None else 0
+    return timing.call_cycles_raw(
+        step.fmt.pixels, step.fmt.strips, len(step.inputs),
+        produces_image=not step.reduce_to_scalar,
+        requires_full_frames=step.requires_full_frames,
+        resident_images=resident)
+
+
+def critical_path_cycles(program: CallProgram,
+                         timing: EngineTimingModel = _TIMING) -> int:
+    """Cycles of the costliest dependency chain through ``program``.
+
+    Longest weighted path over the RAW/WAW/WAR edges: the modeled
+    completion floor with unlimited engine workers.  A single step's
+    cost is its own floor; independent steps never add.
+    """
+    predecessors: Dict[int, List[int]] = {}
+    for before, after in dependency_edges(program):
+        predecessors.setdefault(after, []).append(before)
+    finish: Dict[int, int] = {}
+    for step in program.steps:  # steps are in topological (issue) order
+        ready = max((finish[p] for p in predecessors.get(step.index, [])),
+                    default=0)
+        finish[step.index] = ready + step_cycles(step, timing)
+    return max(finish.values(), default=0)
+
+
+def service_rules(program: CallProgram,
+                  params: EngineParams) -> List[Diagnostic]:
+    """SVC001: modeled critical-path cost exceeds the deadline budget.
+
+    Inert unless the caller declares a budget
+    (``EngineParams.deadline_cycles``; the ``repro-check
+    --deadline-cycles`` flag).
+    """
+    budget = params.deadline_cycles
+    if budget is None or not program.steps:
+        return []
+    critical = critical_path_cycles(program)
+    if critical <= budget:
+        return []
+    seconds = critical / _TIMING.clock_hz
+    return [_diag(
+        "SVC001",
+        f"modeled critical-path cost is {critical} cycles "
+        f"({seconds * 1e3:.2f} ms at the PCI clock), over the "
+        f"--deadline-cycles budget of {budget}: even unlimited engine "
+        f"workers cannot serve this program inside its deadline")]

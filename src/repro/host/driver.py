@@ -206,6 +206,10 @@ class AddressEngineDriver:
     interrupts_serviced: int = 0
     calls_submitted: int = 0
     calls_rejected: int = 0
+    #: Calls a service front end shed before they reached the board
+    #: (admission control, expired deadlines); they cost the driver no
+    #: interrupts, but the books must still show them.
+    calls_shed: int = 0
 
     def check(self, config: EngineConfig) -> None:
         """Pre-flight one call; raise :class:`ProgramCheckError` on
@@ -251,6 +255,18 @@ class AddressEngineDriver:
         """Book one scheduler-executed call into the driver counters."""
         self.calls_submitted += 1
         self.interrupts_serviced += price.interrupts
+
+    def account_shed(self, calls: int = 1) -> None:
+        """Book calls a service layer dropped before submission.
+
+        The service front end (:mod:`repro.service`) sheds load at
+        admission time and expires requests whose deadline has passed;
+        neither ever reaches :meth:`submit`, so this is the only place
+        they enter the driver's books.
+        """
+        if calls < 0:
+            raise ValueError(f"cannot shed {calls} calls")
+        self.calls_shed += calls
 
     def submit(self, config: EngineConfig, frame_a: Frame,
                frame_b: Optional[Frame] = None,

@@ -7,6 +7,7 @@ times) and the section 4.1 bandwidth/overlap claims.
 
 from .cpu_model import (DEFAULT_CPI, CpuModel, PENTIUM_4_3000,
                         PENTIUM_M_1600)
+from .latency import LatencyTracker, percentile
 from .metrics import (best_segment_match, dice, iou, mae, mse, psnr,
                       segment_iou)
 from .memory_accounting import (MemoryAccessRow, PAPER_TABLE2,
@@ -19,6 +20,7 @@ __all__ = [
     "CpuModel",
     "DEFAULT_CPI",
     "EngineTimingModel",
+    "LatencyTracker",
     "MemoryAccessRow",
     "best_segment_match",
     "dice",
@@ -34,6 +36,7 @@ __all__ = [
     "format_seconds",
     "format_table",
     "hardware_accesses",
+    "percentile",
     "ratio_line",
     "table2_rows",
     "write_call_log_csv",

@@ -1,0 +1,110 @@
+"""Admission control: price the call, then accept or shed.
+
+The key asset is that every AddressEngine call has a *closed-form* cost
+(:class:`~repro.perf.timing.EngineTimingModel`, validated against the
+cycle model): the controller can know, at enqueue time and without
+executing anything, how long the backlog in front of a request will
+take.  Admission then stops being a heuristic ("queue length < N") and
+becomes a latency statement: a request is accepted only if the modeled
+backlog still fits inside its class's deadline budget.
+
+Priority classes get *graduated* budgets: BULK is shed first (it can
+retry any time), INTERACTIVE last -- the classic way a multimedia
+service keeps its interactive tail latency flat under overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..addresslib.addressing import AddressingMode
+from ..addresslib.library import BatchCall
+from ..perf.timing import EngineTimingModel
+from .request import Priority, RejectReason, ServiceRequest
+
+
+def call_cost_seconds(call: BatchCall, timing: EngineTimingModel,
+                      special_inter_ops: FrozenSet[str] = frozenset()
+                      ) -> Tuple[float, float]:
+    """(serial-model, overlap-model) seconds of one call's geometry.
+
+    The same arithmetic :class:`~repro.host.scheduler.CallScheduler`
+    prices batches with, so service admission, scheduler makespans and
+    driver submission all account one call identically.
+    """
+    fmt = call.fmt
+    images_in = 2 if call.mode is AddressingMode.INTER else 1
+    produces_image = not call.reduce_to_scalar
+    full_frames = (call.mode is AddressingMode.INTER
+                   and call.op.name in special_inter_ops)
+    serial = timing.serial_call_seconds_raw(
+        fmt.pixels, fmt.strips, images_in, produces_image, full_frames)
+    overlapped = timing.overlapped_call_seconds_raw(
+        fmt.pixels, fmt.strips, images_in, produces_image, full_frames)
+    return serial, overlapped
+
+
+def _default_budget_fractions() -> Dict[Priority, float]:
+    return {Priority.INTERACTIVE: 1.0,
+            Priority.STANDARD: 0.75,
+            Priority.BULK: 0.5}
+
+
+@dataclass
+class AdmissionPolicy:
+    """The knobs of the load-shedding decision."""
+
+    #: Modeled backlog (busy tail + queued cost) a newly admitted
+    #: INTERACTIVE request may face; ``None`` disables shedding.
+    deadline_budget_seconds: Optional[float] = None
+    #: Per-class fraction of the budget (BULK sheds first).
+    budget_fractions: Dict[Priority, float] = field(
+        default_factory=_default_budget_fractions)
+
+    def budget_for(self, priority: Priority) -> Optional[float]:
+        if self.deadline_budget_seconds is None:
+            return None
+        return (self.deadline_budget_seconds
+                * self.budget_fractions.get(priority, 1.0))
+
+
+class AdmissionController:
+    """Prices requests and sheds the ones the backlog would drown."""
+
+    def __init__(self, timing: Optional[EngineTimingModel] = None,
+                 policy: Optional[AdmissionPolicy] = None,
+                 special_inter_ops: FrozenSet[str] = frozenset()) -> None:
+        self.timing = timing or EngineTimingModel()
+        self.policy = policy or AdmissionPolicy()
+        self.special_inter_ops = special_inter_ops
+        #: Requests shed, by reason value (for the service report).
+        self.shed_by_reason: Dict[str, int] = {}
+
+    def price(self, call: BatchCall) -> Tuple[float, float]:
+        """(serial, overlapped) modeled seconds of ``call``."""
+        return call_cost_seconds(call, self.timing,
+                                 self.special_inter_ops)
+
+    def admit(self, request: ServiceRequest,
+              backlog_seconds: float) -> Optional[RejectReason]:
+        """Accept (``None``) or shed ``request`` given the backlog.
+
+        ``backlog_seconds`` is the modeled time until the engine would
+        *start* this request: the current wave's unfinished tail plus
+        the estimated cost of everything already queued.  If it exceeds
+        the class budget the request is shed now rather than queued to
+        rot.  The request's *own* deadline is deliberately not examined
+        here -- admission enforces the service's latency posture, while
+        individual deadlines are enforced at dispatch (timeout + bounded
+        retry), where the real start time is known.
+        """
+        budget = self.policy.budget_for(request.priority)
+        if budget is not None and backlog_seconds > budget:
+            self._count(RejectReason.OVERLOAD)
+            return RejectReason.OVERLOAD
+        return None
+
+    def _count(self, reason: RejectReason) -> None:
+        self.shed_by_reason[reason.value] = (
+            self.shed_by_reason.get(reason.value, 0) + 1)

@@ -1,0 +1,83 @@
+"""Micro-batching: coalesce compatible queued calls into one wave.
+
+The paper's host submits one call, waits for the completion interrupt,
+submits the next.  A loaded service can do better: queued calls that
+share a configuration (same addressing mode, same op, same format and
+channel set) are *already* what :meth:`AddressLib.run_batch` calls a
+batch -- mutually independent by the service contract -- so the batcher
+pulls them forward into one wave and hands that to the call scheduler.
+
+Bit-exactness is structural, not hoped for: each request's result
+depends only on its own input frames (no request reads another's
+output), so executing compatible requests together -- in any order, on
+any worker -- produces exactly the frames serial one-at-a-time
+submission would.  The equivalence tests hold this over the same
+randomized corpus the scheduler is held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..addresslib.library import BatchCall
+from .queue import RequestQueue
+from .request import ServiceRequest
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """What must match for two calls to share a micro-batch.
+
+    Mode/op/format is the engine's *configuration* identity: calls with
+    equal keys would program the board identically, so a multi-engine
+    deployment can run them side by side with zero reconfiguration.
+    ``op_id`` is the op object's identity, not its name -- two distinct
+    parameterized ops that happen to share a name must not coalesce.
+    """
+
+    mode: str
+    op_id: int
+    format_name: str
+    channels: str
+    reduce_to_scalar: bool
+
+    @classmethod
+    def of(cls, call: BatchCall) -> "BatchKey":
+        return cls(mode=call.mode.value, op_id=id(call.op),
+                   format_name=call.fmt.name,
+                   channels=call.channels.name,
+                   reduce_to_scalar=call.reduce_to_scalar)
+
+
+class MicroBatcher:
+    """Forms dispatch waves from the head of the request queue."""
+
+    def __init__(self, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        #: Waves formed so far.
+        self.waves = 0
+        #: Requests that rode a wave with at least one companion.
+        self.coalesced_requests = 0
+
+    def form_wave(self, queue: RequestQueue) -> List[ServiceRequest]:
+        """Pop the next wave: the head request plus up to
+        ``max_batch - 1`` compatible followers, in queue order.
+
+        The head is always the request strict priority order would
+        dispatch next, so coalescing never inverts priorities -- it only
+        lets compatible work *join* the head's wave early.
+        """
+        if not queue:
+            return []
+        head = queue.pop_next()
+        key = BatchKey.of(head.call)
+        wave = [head] + queue.pop_compatible(
+            lambda request: BatchKey.of(request.call) == key,
+            self.max_batch - 1)
+        self.waves += 1
+        if len(wave) > 1:
+            self.coalesced_requests += len(wave)
+        return wave

@@ -1,0 +1,306 @@
+"""EngineService: the synchronous request front end over the stack.
+
+The paper's deployment is one application owning the board.  The
+ROADMAP's north star is the opposite: many independent clients and one
+(modelled) engine pool.  :class:`EngineService` is the layer between --
+it accepts :class:`~repro.addresslib.library.BatchCall` requests,
+admits or sheds them (:mod:`repro.service.admission`), queues them with
+priorities and bounded depth (:mod:`repro.service.queue`), coalesces
+compatible calls into waves (:mod:`repro.service.batcher`) and executes
+each wave through :meth:`AddressLib.run_batch`, optionally sharded by a
+:class:`~repro.host.scheduler.CallScheduler`.
+
+Time is *modeled* time: the service keeps a virtual clock in seconds of
+the validated overlap timing model, exactly as the Table 3 evaluation
+keeps modelled wall clocks.  That makes every admission decision,
+deadline, and latency percentile deterministic and machine-independent
+-- and bit-exactness trivially auditable, because execution itself is
+the same vector executor the serial path runs.
+
+The flow::
+
+    service = EngineService(queue_depth=64,
+                            policy=AdmissionPolicy(0.050))
+    ticket = service.submit(BatchCall.intra(INTRA_GRAD, frame),
+                            priority=Priority.INTERACTIVE,
+                            deadline_seconds=0.030)
+    report = service.drain()          # -> ServiceReport
+    edges = ticket.result()           # bit-exact Frame
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..addresslib.library import AddressLib, BatchCall, SoftwareBackend
+from ..host.scheduler import CallScheduler
+from ..image.frame import Frame
+from ..perf.latency import LatencyTracker
+from ..perf.timing import EngineTimingModel
+from .admission import AdmissionController, AdmissionPolicy
+from .batcher import MicroBatcher
+from .queue import RequestQueue
+from .request import (Priority, RejectReason, RequestState, ServiceRequest,
+                      ServiceTicket)
+
+
+def _makespan(costs: Sequence[float], engines: int) -> float:
+    """LPT list-scheduled makespan of ``costs`` across ``engines``
+    (the same modelled-dispatch rule the call scheduler prices with)."""
+    loads = [0.0] * max(1, engines)
+    for cost in sorted(costs, reverse=True):
+        slot = loads.index(min(loads))
+        loads[slot] += cost
+    return max(loads)
+
+
+@dataclass
+class ServiceReport:
+    """The books of one service run, surfaced alongside ``RunReport``."""
+
+    #: Requests offered to :meth:`EngineService.submit`.
+    submitted: int = 0
+    accepted: int = 0
+    completed: int = 0
+    #: Requests refused at admission, by :class:`RejectReason` value.
+    rejected_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Requests whose deadline expired (after exhausting retries).
+    timed_out: int = 0
+    #: Deadline-miss re-enqueues (a request may retry several times).
+    retried: int = 0
+    #: Dispatch waves executed.
+    waves: int = 0
+    #: Requests that rode a wave with at least one compatible companion.
+    coalesced_requests: int = 0
+    queue_depth: int = 0
+    queue_high_water: int = 0
+    #: Modeled engine-busy seconds (sum of wave makespans).
+    busy_seconds: float = 0.0
+    #: What the executed calls would cost serially under the no-overlap
+    #: (sum) model -- the denominator of :attr:`overlap_efficiency`.
+    modeled_serial_seconds: float = 0.0
+    #: Modeled end-to-end latency of completed requests.
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    #: Service clock when the report was cut.
+    clock_seconds: float = 0.0
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejected_by_reason.values())
+
+    @property
+    def reject_rate(self) -> float:
+        """Rejected over submitted; 0.0 before any submission."""
+        if self.submitted == 0:
+            return 0.0
+        return self.rejected / self.submitted
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the serial (sum) model the pipeline + wave
+        dispatch hid: ``1 - busy / serial``, 0.0 when nothing ran."""
+        if self.modeled_serial_seconds <= 0.0:
+            return 0.0
+        return 1.0 - self.busy_seconds / self.modeled_serial_seconds
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted requests not yet resolved (still queued); retried
+        requests stay in this count until they complete or expire."""
+        return self.accepted - self.completed - self.timed_out
+
+
+class EngineService:
+    """Synchronous submit/drain front end over an AddressLib stack.
+
+    ``lib`` defaults to a software-backed library; hand it an
+    engine-backed one (``AddressLib(EngineBackend())``) to serve the
+    coprocessor model, or pass a :class:`CallScheduler` to shard waves
+    across engine workers.  ``virtual_engines`` sets how many modelled
+    boards the makespan accounting assumes (defaults to the scheduler's
+    worker count, or 1): execution is bit-exact either way, only the
+    modelled timing changes -- the same machine-independence contract as
+    the scheduler's ``BatchReport``.
+    """
+
+    def __init__(self, lib: Optional[AddressLib] = None,
+                 scheduler: Optional[CallScheduler] = None,
+                 queue_depth: int = 64,
+                 max_batch: int = 8,
+                 policy: Optional[AdmissionPolicy] = None,
+                 admission: Optional[AdmissionController] = None,
+                 virtual_engines: Optional[int] = None,
+                 timing: Optional[EngineTimingModel] = None) -> None:
+        self.lib = lib or AddressLib(SoftwareBackend())
+        self.scheduler = scheduler
+        self.timing = timing or (scheduler.timing if scheduler
+                                 else EngineTimingModel())
+        special = frozenset(getattr(self.lib.backend,
+                                    "special_inter_ops", frozenset()))
+        self.admission = admission or AdmissionController(
+            timing=self.timing, policy=policy, special_inter_ops=special)
+        self.queue = RequestQueue(max_depth=queue_depth)
+        self.batcher = MicroBatcher(max_batch=max_batch)
+        self.virtual_engines = max(1, virtual_engines
+                                   or (scheduler.max_workers
+                                       if scheduler else 1))
+        #: The service's modeled "now": advanced by arrivals and waves.
+        self.clock = 0.0
+        #: Modeled time the engine pool is busy until.
+        self.busy_until = 0.0
+        self.report_data = ServiceReport()
+        self._pending_cost_seconds = 0.0
+        self._next_request_id = 0
+        self._tickets: Dict[int, ServiceTicket] = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, call: BatchCall,
+               priority: Priority = Priority.STANDARD,
+               deadline_seconds: Optional[float] = None,
+               max_retries: int = 0,
+               arrival_seconds: Optional[float] = None) -> ServiceTicket:
+        """Offer one call; returns a ticket that is either queued or
+        already rejected (explicit backpressure, never an exception).
+
+        ``arrival_seconds`` places the request on the modeled clock (an
+        open-loop load generator submits a whole trace this way); it
+        defaults to "now" and never moves the clock backwards.
+        """
+        if arrival_seconds is not None:
+            self.clock = max(self.clock, arrival_seconds)
+        arrival = self.clock
+        serial_cost, overlapped_cost = self.admission.price(call)
+        request = ServiceRequest(
+            request_id=self._next_request_id, call=call,
+            priority=priority, arrival_seconds=arrival,
+            deadline_seconds=deadline_seconds, max_retries=max_retries,
+            estimated_cost_seconds=overlapped_cost)
+        self._next_request_id += 1
+        ticket = ServiceTicket(request_id=request.request_id,
+                               priority=priority,
+                               arrival_seconds=arrival)
+        self._tickets[request.request_id] = ticket
+        self.report_data.submitted += 1
+
+        reason = self._admit(request)
+        if reason is not None:
+            self._reject(ticket, reason)
+            return ticket
+        offered = self.queue.offer(request)
+        if offered is not None:
+            self._reject(ticket, offered)
+            return ticket
+        self._pending_cost_seconds += request.estimated_cost_seconds
+        self.report_data.accepted += 1
+        return ticket
+
+    def _admit(self, request: ServiceRequest) -> Optional[RejectReason]:
+        backlog = (max(0.0, self.busy_until - self.clock)
+                   + self._pending_cost_seconds)
+        return self.admission.admit(request, backlog)
+
+    def _reject(self, ticket: ServiceTicket,
+                reason: RejectReason) -> None:
+        ticket.state = RequestState.REJECTED
+        ticket.reject_reason = reason
+        by_reason = self.report_data.rejected_by_reason
+        by_reason[reason.value] = by_reason.get(reason.value, 0) + 1
+        self._account_shed()
+
+    def _account_shed(self) -> None:
+        """Driver accounting hook: shed calls show in the board books."""
+        driver = getattr(self.lib.backend, "driver", None)
+        if driver is not None:
+            driver.account_shed()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch one micro-batched wave; False when queue is empty."""
+        wave = self.batcher.form_wave(self.queue)
+        if not wave:
+            return False
+        for request in wave:
+            self._pending_cost_seconds -= request.estimated_cost_seconds
+        start = max(self.busy_until,
+                    max(r.effective_arrival_seconds for r in wave))
+        survivors = [r for r in wave if not self._expire(r, start)]
+        if not survivors:
+            return True
+        results = self.lib.run_batch([r.call for r in survivors],
+                                     scheduler=self.scheduler)
+        costs = []
+        for request in survivors:
+            serial, overlapped = self.admission.price(request.call)
+            self.report_data.modeled_serial_seconds += serial
+            costs.append(overlapped)
+        wave_end = start + _makespan(costs, self.virtual_engines)
+        self.busy_until = wave_end
+        self.clock = max(self.clock, wave_end)
+        self.report_data.busy_seconds += wave_end - start
+        self.report_data.waves += 1
+        for request, result in zip(survivors, results):
+            request.attempts += 1
+            self._complete(request, result, wave_end)
+        return True
+
+    def _expire(self, request: ServiceRequest, start: float) -> bool:
+        """Deadline check at dispatch: True when the request must not
+        run now.  A miss with retry budget re-enqueues at the front with
+        the deadline re-based to "now" (the client re-issuing); a miss
+        without budget times out -- the work is shed, never executed."""
+        deadline = request.absolute_deadline
+        if deadline is None:
+            return False
+        if start + request.estimated_cost_seconds <= deadline + 1e-12:
+            return False
+        request.attempts += 1
+        if request.attempts <= request.max_retries:
+            request.effective_arrival_seconds = max(start, self.clock)
+            self.queue.requeue_front(request)
+            self._pending_cost_seconds += request.estimated_cost_seconds
+            self.report_data.retried += 1
+            return True
+        ticket = self._tickets[request.request_id]
+        ticket.state = RequestState.TIMED_OUT
+        ticket.attempts = request.attempts
+        self.report_data.timed_out += 1
+        self._account_shed()
+        return True
+
+    def _complete(self, request: ServiceRequest,
+                  result: Union[Frame, int], wave_end: float) -> None:
+        ticket = self._tickets[request.request_id]
+        ticket.state = RequestState.COMPLETED
+        ticket.outcome = result
+        ticket.completion_seconds = wave_end
+        ticket.attempts = request.attempts
+        self.report_data.completed += 1
+        self.report_data.latency.record(
+            wave_end - request.arrival_seconds)
+
+    # -- draining -------------------------------------------------------------
+
+    def run_until(self, seconds: float) -> None:
+        """Advance the modeled clock to ``seconds``, dispatching every
+        wave the engine can start before then (open-loop serving)."""
+        while self.queue and self.busy_until < seconds:
+            self.step()
+        self.clock = max(self.clock, seconds)
+
+    def drain(self) -> ServiceReport:
+        """Dispatch until the queue is empty; returns the books."""
+        while self.queue:
+            self.step()
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        """The books so far (live object; drain() returns the same)."""
+        self.report_data.queue_depth = len(self.queue)
+        self.report_data.queue_high_water = self.queue.high_water
+        self.report_data.coalesced_requests = (
+            self.batcher.coalesced_requests)
+        self.report_data.clock_seconds = self.clock
+        return self.report_data

@@ -1,0 +1,97 @@
+"""The bounded, priority-classed request queue.
+
+The queue is deliberately small and explicit: a deque per priority
+class, one global depth bound, and *reject-with-reason* when full --
+never unbounded growth.  An overloaded service that queues without
+bound converts overload into unbounded latency for everyone; a bounded
+queue converts it into fast, explicit backpressure for the marginal
+request, which is the behaviour the admission controller builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from .request import Priority, RejectReason, ServiceRequest
+
+
+class RequestQueue:
+    """FIFO within a priority class, strict priority across classes."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._classes: Dict[Priority, Deque[ServiceRequest]] = {
+            priority: deque() for priority in Priority}
+        #: Deepest the queue ever got (capacity-planning signal).
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._classes.values())
+
+    def __bool__(self) -> bool:
+        return any(self._classes.values())
+
+    def depth_of(self, priority: Priority) -> int:
+        return len(self._classes[priority])
+
+    def offer(self, request: ServiceRequest) -> Optional[RejectReason]:
+        """Enqueue, or explain why not (``None`` means accepted)."""
+        if len(self) >= self.max_depth:
+            return RejectReason.QUEUE_FULL
+        self._classes[request.priority].append(request)
+        self.high_water = max(self.high_water, len(self))
+        return None
+
+    def requeue_front(self, request: ServiceRequest) -> None:
+        """Put a retried request at the *front* of its class.
+
+        A deadline retry has already waited one full queue pass; sending
+        it to the back would starve it behind younger work.  The depth
+        bound is not re-checked: the request held a slot until a moment
+        ago and nothing else can have claimed it mid-dispatch.
+        """
+        self._classes[request.priority].appendleft(request)
+        self.high_water = max(self.high_water, len(self))
+
+    def pop_next(self) -> ServiceRequest:
+        """Highest-priority oldest request; raises IndexError if empty."""
+        for priority in Priority:
+            if self._classes[priority]:
+                return self._classes[priority].popleft()
+        raise IndexError("pop from an empty RequestQueue")
+
+    def pop_compatible(self, matches: Callable[[ServiceRequest], bool],
+                       limit: int) -> List[ServiceRequest]:
+        """Remove up to ``limit`` queued requests satisfying ``matches``.
+
+        Scans classes in priority order and each class front to back, so
+        the relative order of the popped requests is the order
+        :meth:`pop_next` would have produced.  Requests are independent
+        by contract, so pulling compatible ones forward changes neither
+        their results nor any other request's.
+        """
+        popped: List[ServiceRequest] = []
+        if limit <= 0:
+            return popped
+        for priority in Priority:
+            queue = self._classes[priority]
+            if not queue:
+                continue
+            kept: Deque[ServiceRequest] = deque()
+            while queue:
+                request = queue.popleft()
+                if len(popped) < limit and matches(request):
+                    popped.append(request)
+                else:
+                    kept.append(request)
+            self._classes[priority] = kept
+            if len(popped) >= limit:
+                break
+        return popped
+
+    def __iter__(self) -> Iterator[ServiceRequest]:
+        for priority in Priority:
+            yield from self._classes[priority]

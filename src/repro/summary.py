@@ -2,8 +2,10 @@
 
 Regenerates the headline numbers of every experiment (Tables 1-3, the
 factor-30 profile, the section 4.1 claims) against the paper's values,
-without going through pytest.  Table 3 runs the sequences at a small
-scale by default; pass ``--table3-scale 1.0`` for full length.
+without going through pytest, plus an engine/cache/service health
+section (residency-cache counters, modeled overlap efficiency, serving
+counters).  Table 3 runs the sequences at a small scale by default;
+pass ``--table3-scale 1.0`` for full length.
 """
 
 from __future__ import annotations
@@ -88,6 +90,61 @@ def claims_section() -> str:
         title="Section 1 / 4.1 claims")
 
 
+def health_section() -> str:
+    """Engine + cache + service health in one table.
+
+    One chained workload exercises the :class:`FrameResidencyCache`
+    (hits, on-board result reuse, misses, evictions); a burst of
+    service requests through :class:`~repro.service.EngineService`
+    exercises admission, micro-batching and the latency books.  All
+    figures are modeled (deterministic), like the rest of the summary.
+    """
+    from .addresslib import (BatchCall, AddressLib, INTER_ABSDIFF,
+                             INTRA_BOX3, INTRA_GRAD)
+    from .host import EngineBackend
+    from .service import AdmissionPolicy, EngineService
+
+    frame = blob_frame(QCIF, [(30, 30), (100, 80)], radius=16)
+    backend = EngineBackend(chain_frames=True, residency_max_age=4)
+    lib = AddressLib(backend)
+    edges = lib.intra(INTRA_GRAD, frame)          # both inputs ship
+    smooth = lib.intra(INTRA_BOX3, edges)         # result reused on-board
+    lib.inter(INTER_ABSDIFF, edges, smooth)       # layout change: reships
+    backend.residency.release(smooth)              # host reclaimed: evict
+    cache = backend.residency
+
+    service = EngineService(
+        lib=lib, virtual_engines=4, max_batch=4,
+        policy=AdmissionPolicy(deadline_budget_seconds=0.02))
+    for _ in range(12):
+        service.submit(BatchCall.intra(INTRA_GRAD, frame))
+    report = service.drain()
+
+    return format_table(
+        ["signal", "value"],
+        [("residency hits / result reuses", f"{cache.hits} / "
+                                            f"{cache.result_reuses}"),
+         ("residency misses / evictions", f"{cache.misses} / "
+                                          f"{cache.evictions}"),
+         ("service accepted / rejected",
+          f"{report.accepted} / {report.rejected}"),
+         ("service completed / timed out",
+          f"{report.completed} / {report.timed_out}"),
+         ("queue high-water / depth bound",
+          f"{report.queue_high_water} / {service.queue.max_depth}"),
+         ("dispatch waves / coalesced requests",
+          f"{report.waves} / {report.coalesced_requests}"),
+         ("overlap efficiency (4 modeled engines)",
+          f"{100 * report.overlap_efficiency:.1f}%"),
+         ("modeled latency p50 / p95",
+          f"{report.latency.p50 * 1e3:.2f} ms / "
+          f"{report.latency.p95 * 1e3:.2f} ms"),
+         ("driver calls submitted / shed",
+          f"{backend.driver.calls_submitted} / "
+          f"{backend.driver.calls_shed}")],
+        title="Engine / cache / service health (modeled)")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's evaluation numbers.")
@@ -109,6 +166,8 @@ def main(argv=None) -> None:
         print(table3_section(args.table3_scale))
         print()
     print(claims_section())
+    print()
+    print(health_section())
 
 
 if __name__ == "__main__":

@@ -37,7 +37,8 @@ class TestCatalogue:
         for rule_id, rule in RULES.items():
             assert rule.rule_id == rule_id
             assert rule.layer in ("configuration", "capacity", "hazard",
-                                  "liveness", "fast-path", "scheduling")
+                                  "liveness", "fast-path", "scheduling",
+                                  "service")
             assert rule.title
 
     def test_diagnostic_format_line(self):

@@ -1,0 +1,52 @@
+"""Percentile bookkeeping used by the service layer's latency books."""
+
+import pytest
+
+from repro.perf import LatencyTracker, percentile
+
+
+class TestPercentile:
+    def test_interpolates_between_closest_ranks(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0) == 10.0
+        assert percentile(samples, 100) == 40.0
+        assert percentile(samples, 50) == pytest.approx(25.0)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile(
+            [1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 1) == percentile([7.0], 99) == 7.0
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyTracker:
+    def test_books_accumulate(self):
+        tracker = LatencyTracker()
+        for value in (0.010, 0.020, 0.030):
+            tracker.record(value)
+        assert tracker.count == 3
+        assert tracker.total_seconds == pytest.approx(0.060)
+        assert tracker.mean == pytest.approx(0.020)
+        assert tracker.max == pytest.approx(0.030)
+        assert tracker.p50 == pytest.approx(0.020)
+
+    def test_p95_sits_in_the_tail(self):
+        tracker = LatencyTracker()
+        for value in range(1, 101):
+            tracker.record(float(value))
+        assert tracker.p50 == pytest.approx(50.5)
+        assert tracker.p95 == pytest.approx(95.05)
+        assert tracker.p50 < tracker.p95 <= tracker.max
+
+    def test_empty_tracker_answers_zero(self):
+        tracker = LatencyTracker()
+        assert tracker.count == 0
+        assert tracker.mean == 0.0
+        assert tracker.p50 == 0.0 and tracker.p95 == 0.0
