@@ -1,0 +1,118 @@
+"""Experiment POOL -- closed-batch makespan versus pool size.
+
+The same seeded batch of mixed intra/inter calls is drained through an
+:class:`~repro.api.EngineService` backed by a real
+:class:`~repro.api.EnginePool` of 1, 2 and 4 boards.  Everything runs
+on the modeled clock, so the sweep is deterministic and
+machine-independent.
+
+What must hold:
+
+* every pool size completes the whole batch and returns bit-identical
+  pixel results (the pool shards *where* a wave runs, never *what* it
+  computes);
+* the modeled makespan shrinks with pool size, with a speedup of at
+  least 1.8x at four boards;
+* the routed-call books cover the batch: per-worker ``calls_routed``
+  sums to the batch size at every pool size.
+
+Results land in ``BENCH_pool.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import random
+
+from repro.addresslib import (BatchCall, INTER_ABSDIFF, INTRA_BOX3,
+                              INTRA_GRAD)
+from repro.api import EnginePool, EngineService, SubmitOptions
+from repro.image import ImageFormat, noise_frame
+from repro.perf import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+QCIF = ImageFormat("QCIF", 176, 144)
+
+CALLS = 48
+POOL_SIZES = (1, 2, 4)
+SEED = 0xFA57
+
+
+def _batch(rng):
+    calls = []
+    for _ in range(CALLS):
+        frame = noise_frame(QCIF, seed=rng.randrange(24))
+        if rng.random() < 0.3:
+            other = noise_frame(QCIF, seed=rng.randrange(24))
+            calls.append(BatchCall.inter(INTER_ABSDIFF, frame, other))
+        else:
+            calls.append(BatchCall.intra(
+                rng.choice((INTRA_GRAD, INTRA_BOX3)), frame))
+    return calls
+
+
+def _run_size(size):
+    """Drain the whole seeded batch through a ``size``-board pool."""
+    calls = _batch(random.Random(SEED))
+    service = EngineService(pool=EnginePool.of_engines(size),
+                            queue_depth=CALLS, max_batch=8)
+    tickets = [service.submit(call, SubmitOptions(arrival_seconds=0.0))
+               for call in calls]
+    report = service.drain()
+    results = [ticket.result() for ticket in tickets]
+    return report, results
+
+
+def test_pool_scaling(save_report):
+    runs = {size: _run_size(size) for size in POOL_SIZES}
+    baseline_report, baseline_results = runs[1]
+
+    sizes = []
+    for size in POOL_SIZES:
+        report, results = runs[size]
+        # Same batch, same answers: sharding is placement, not compute.
+        assert len(results) == CALLS
+        for got, want in zip(results, baseline_results):
+            assert got.equals(want)
+        assert report.completed == CALLS and report.rejected == 0
+        pool = report.pool
+        assert pool is not None and len(pool.workers) == size
+        assert sum(w.calls_routed for w in pool.workers) == CALLS
+        sizes.append({
+            "pool_size": size,
+            "makespan_seconds": report.clock_seconds,
+            "speedup": (baseline_report.clock_seconds
+                        / report.clock_seconds),
+            "waves": report.waves,
+            "calls_routed": [w.calls_routed for w in pool.workers],
+            "service": report.to_dict(),
+        })
+
+    speedup_4 = sizes[-1]["speedup"]
+    assert sizes[0]["speedup"] == 1.0
+    # Makespan is monotone non-increasing in pool size...
+    assert (sizes[0]["makespan_seconds"]
+            >= sizes[1]["makespan_seconds"]
+            >= sizes[2]["makespan_seconds"])
+    # ...and four boards buy a real (modeled) speedup.
+    assert speedup_4 >= 1.8
+
+    payload = {
+        "calls": CALLS,
+        "seed": SEED,
+        "pool_sizes": list(POOL_SIZES),
+        "speedup_at_4": speedup_4,
+        "levels": sizes,
+    }
+    (REPO_ROOT / "BENCH_pool.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    save_report("pool_scaling", format_table(
+        ["boards", "makespan", "speedup", "waves", "routed"],
+        [(lvl["pool_size"],
+          f"{lvl['makespan_seconds'] * 1e3:.2f} ms",
+          f"{lvl['speedup']:.2f}x", lvl["waves"],
+          "/".join(str(n) for n in lvl["calls_routed"]))
+         for lvl in sizes],
+        title=(f"Closed-batch pool scaling, {CALLS} mixed calls "
+               f"(seed {SEED:#x})")))

@@ -22,9 +22,9 @@ import pathlib
 import random
 
 from repro.addresslib import BatchCall, INTRA_GRAD
+from repro.api import AdmissionPolicy, EngineService, SubmitOptions
 from repro.image import ImageFormat, noise_frame
 from repro.perf import format_table
-from repro.service import AdmissionPolicy, EngineService
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -55,7 +55,8 @@ def _run_level(load, call_cost):
     for _ in range(REQUESTS):
         arrival += rng.expovariate(rate)
         service.run_until(arrival)
-        service.submit(_sweep_call(rng), arrival_seconds=arrival)
+        service.submit(_sweep_call(rng),
+                       SubmitOptions(arrival_seconds=arrival))
     report = service.drain()
     return {
         "load": load,

@@ -1,16 +1,17 @@
 """Drive the AddressEngine service front end with an open-loop load.
 
 A seeded Poisson arrival process offers a mixed intra/inter workload to
-:class:`~repro.service.EngineService` at a chosen fraction of the
-modeled engine capacity, then prints the serving books (accept/shed
-counts, waves, modeled p50/p95 latency).  Everything runs on the
-modeled clock: two runs with the same arguments print the same table
-on any machine.
+:class:`~repro.api.EngineService` at a chosen fraction of the modeled
+engine capacity, then prints the serving books (accept/shed counts,
+waves, modeled p50/p95 latency).  Everything runs on the modeled
+clock: two runs with the same arguments print the same table on any
+machine.
 
     PYTHONPATH=src python scripts/serve_demo.py
     PYTHONPATH=src python scripts/serve_demo.py --load 1.5 --seed 7
     PYTHONPATH=src python scripts/serve_demo.py --engines 4 \\
         --max-batch 8 --deadline-ms 30 --retries 1
+    PYTHONPATH=src python scripts/serve_demo.py --engines 4 --pool
 """
 
 from __future__ import annotations
@@ -22,10 +23,11 @@ from typing import Optional, Sequence
 
 from repro.addresslib import (AddressLib, BatchCall, INTER_ABSDIFF,
                               INTRA_BOX3, INTRA_GRAD)
+from repro.api import (AdmissionPolicy, EnginePool, EngineService,
+                       Priority, SubmitOptions)
 from repro.host import EngineBackend
 from repro.image import ImageFormat, noise_frame
 from repro.perf import format_table
-from repro.service import AdmissionPolicy, EngineService, Priority
 
 QCIF = ImageFormat("QCIF", 176, 144)
 
@@ -69,14 +71,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--engine-backend", action="store_true",
                         help="serve through the cycle-model engine "
                              "backend instead of the software library")
+    parser.add_argument("--pool", action="store_true",
+                        help="shard across --engines real boards via "
+                             "EnginePool instead of modeling overlap "
+                             "on one board")
     args = parser.parse_args(argv)
 
-    lib = AddressLib(EngineBackend()) if args.engine_backend else None
-    service = EngineService(
-        lib=lib, queue_depth=args.queue_depth, max_batch=args.max_batch,
-        virtual_engines=args.engines,
-        policy=AdmissionPolicy(
-            deadline_budget_seconds=args.budget_ms * 1e-3))
+    policy = AdmissionPolicy(
+        deadline_budget_seconds=args.budget_ms * 1e-3)
+    if args.pool:
+        pool = EnginePool.of_engines(args.engines)
+        service = EngineService(
+            pool=pool, queue_depth=args.queue_depth,
+            max_batch=args.max_batch, policy=policy)
+    else:
+        lib = AddressLib(EngineBackend()) if args.engine_backend else None
+        service = EngineService(
+            lib=lib, queue_depth=args.queue_depth,
+            max_batch=args.max_batch, virtual_engines=args.engines,
+            policy=policy)
 
     rng = random.Random(args.seed)
     mean_cost = sum(service.admission.price(_random_call(rng))[1]
@@ -89,35 +102,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for _ in range(args.requests):
         arrival += rng.expovariate(rate)
         service.run_until(arrival)
-        service.submit(_random_call(rng),
-                       priority=rng.choice(_PRIORITIES),
-                       deadline_seconds=deadline,
-                       max_retries=args.retries)
+        service.submit(_random_call(rng), SubmitOptions(
+            priority=rng.choice(_PRIORITIES),
+            deadline_seconds=deadline,
+            max_retries=args.retries))
     report = service.drain()
+
+    def _ms(seconds):
+        return "--" if seconds is None else f"{seconds * 1e3:.2f} ms"
 
     shed = ", ".join(f"{reason}: {count}" for reason, count
                      in sorted(report.rejected_by_reason.items())) or "--"
+    rows = [
+        ("offered load / rate", f"{args.load:.2f}x / {rate:.1f}/s"),
+        ("mean modeled call cost", f"{mean_cost * 1e3:.2f} ms"),
+        ("submitted / accepted", f"{report.submitted} / "
+                                 f"{report.accepted}"),
+        ("completed / timed out", f"{report.completed} / "
+                                  f"{report.timed_out}"),
+        ("rejected (by reason)", shed),
+        ("retries", report.retried),
+        ("waves / coalesced", f"{report.waves} / "
+                              f"{report.coalesced_requests}"),
+        ("queue high-water / bound", f"{report.queue_high_water} / "
+                                     f"{args.queue_depth}"),
+        ("throughput", f"{report.completed / report.clock_seconds:.1f}"
+                       f" served/s" if report.clock_seconds else "--"),
+        ("modeled latency p50 / p95",
+         f"{_ms(report.latency.p50)} / {_ms(report.latency.p95)}"),
+        ("overlap efficiency",
+         f"{100 * report.overlap_efficiency:.1f}%"),
+    ]
+    if report.pool is not None and args.pool:
+        routed = " / ".join(str(w.calls_routed)
+                            for w in report.pool.workers)
+        hit_rate = report.pool.residency_hit_rate
+        rows.append(("pool calls routed per board", routed))
+        rows.append(("pool residency hit rate",
+                     "--" if hit_rate is None
+                     else f"{100 * hit_rate:.1f}%"))
     print(format_table(
-        ["signal", "value"],
-        [("offered load / rate", f"{args.load:.2f}x / {rate:.1f}/s"),
-         ("mean modeled call cost", f"{mean_cost * 1e3:.2f} ms"),
-         ("submitted / accepted", f"{report.submitted} / "
-                                  f"{report.accepted}"),
-         ("completed / timed out", f"{report.completed} / "
-                                   f"{report.timed_out}"),
-         ("rejected (by reason)", shed),
-         ("retries", report.retried),
-         ("waves / coalesced", f"{report.waves} / "
-                               f"{report.coalesced_requests}"),
-         ("queue high-water / bound", f"{report.queue_high_water} / "
-                                      f"{args.queue_depth}"),
-         ("throughput", f"{report.completed / report.clock_seconds:.1f}"
-                        f" served/s" if report.clock_seconds else "--"),
-         ("modeled latency p50 / p95",
-          f"{report.latency.p50 * 1e3:.2f} ms / "
-          f"{report.latency.p95 * 1e3:.2f} ms"),
-         ("overlap efficiency",
-          f"{100 * report.overlap_efficiency:.1f}%")],
+        ["signal", "value"], rows,
         title=f"EngineService, {args.requests} open-loop requests "
               f"(seed {args.seed})"))
     return 0

@@ -14,8 +14,10 @@ call to the AddressLib").
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -28,6 +30,9 @@ from .ops import ChannelSet, InterOp, IntraOp
 from .profiling import InstructionCost, OpProfile
 from .segment import (Criterion, LumaDeltaCriterion, SegmentProcessor,
                       SegmentResult)
+
+if TYPE_CHECKING:
+    from ..api import SubmitOptions
 
 
 @dataclass
@@ -52,9 +57,17 @@ class CallLog:
 
     def __init__(self) -> None:
         self.records: List[CallRecord] = []
+        #: Calls tallied per tenant label (multi-tenant submissions
+        #: through :class:`~repro.api.SubmitOptions`; untagged calls
+        #: are not tallied here).
+        self.by_tenant: Dict[str, int] = {}
 
     def append(self, record: CallRecord) -> None:
         self.records.append(record)
+
+    def tally_tenant(self, tenant: str, calls: int = 1) -> None:
+        """Attribute ``calls`` executed calls to ``tenant``."""
+        self.by_tenant[tenant] = self.by_tenant.get(tenant, 0) + calls
 
     def count(self, mode: AddressingMode) -> int:
         return sum(1 for r in self.records if r.mode is mode)
@@ -87,6 +100,7 @@ class CallLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self.by_tenant.clear()
 
 
 @dataclass(frozen=True)
@@ -340,7 +354,9 @@ class AddressLib:
         return value
 
     def run_batch(self, calls: Sequence[BatchCall],
-                  scheduler: Optional[BatchExecutor] = None
+                  *legacy: "BatchExecutor",
+                  scheduler: Optional[BatchExecutor] = None,
+                  options: Optional["SubmitOptions"] = None
                   ) -> List[Union[Frame, int]]:
         """Submit a batch of *independent* inter/intra calls.
 
@@ -353,8 +369,28 @@ class AddressLib:
         analytic accounting -- one record per call, same counts, no
         re-execution.  If any dispatched backend cannot record batched
         calls, the whole batch silently takes the serial path.
+
+        ``scheduler`` and ``options`` are keyword-only; ``options``
+        (a :class:`~repro.api.SubmitOptions`) currently contributes the
+        tenant label the call log tallies executed calls under.
+        Passing the scheduler positionally still works but is
+        deprecated.
         """
+        if legacy:
+            if len(legacy) > 1 or scheduler is not None:
+                raise TypeError(
+                    "run_batch takes at most one scheduler; pass it "
+                    "as run_batch(calls, scheduler=...)")
+            warnings.warn(
+                "passing the scheduler positionally to "
+                "AddressLib.run_batch is deprecated; use "
+                "run_batch(calls, scheduler=...)",
+                DeprecationWarning, stacklevel=2)
+            scheduler = legacy[0]
         calls = list(calls)
+        tenant = getattr(options, "tenant", None)
+        if tenant is not None and calls:
+            self.log.tally_tenant(tenant, len(calls))
         if scheduler is not None and len(calls) > 1:
             backends = [self._dispatch(call.mode) for call in calls]
             if all(b.can_record_batches for b in backends):

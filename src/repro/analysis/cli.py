@@ -157,6 +157,17 @@ def _unmeetable_deadline() -> Tuple[CallProgram, EngineParams]:
             EngineParams(deadline_cycles=10_000))
 
 
+def _split_placement() -> Tuple[CallProgram, EngineParams]:
+    """The serial chain with its first hand-off pinned across boards:
+    grad on board 0, its consumer on board 1 -- the frame would re-ship
+    over the PCI bus on every hand-off (SVC002)."""
+    program, _ = _serial_chain()
+    return (CallProgram(name="split_placement", fmt=program.fmt,
+                        inputs=program.inputs, steps=program.steps,
+                        results=program.results),
+            EngineParams(placement_hints=(0, 1, None)))
+
+
 #: rule class -> (builder, rule id that must fire).
 SELFTEST_CASES: Dict[str, Tuple[
         Callable[[], Tuple[CallProgram, EngineParams]], str]] = {
@@ -166,6 +177,7 @@ SELFTEST_CASES: Dict[str, Tuple[
     "fast-path": (_broken_fast_path, "FPA001"),
     "scheduling": (_serial_chain, "SCH001"),
     "service": (_unmeetable_deadline, "SVC001"),
+    "placement": (_split_placement, "SVC002"),
 }
 
 
@@ -202,6 +214,27 @@ def _run_selftest(verbose: bool) -> int:
     return 0
 
 
+def _parse_placement_hints(
+        text: Optional[str],
+        parser: argparse.ArgumentParser
+        ) -> Optional[Tuple[Optional[int], ...]]:
+    """``"0,1,-"`` -> ``(0, 1, None)``; ``None`` passes through."""
+    if text is None:
+        return None
+    hints: List[Optional[int]] = []
+    for token in text.split(","):
+        token = token.strip()
+        if token in ("", "-", "none"):
+            hints.append(None)
+            continue
+        try:
+            hints.append(int(token))
+        except ValueError:
+            parser.error(f"--placement-hints entry {token!r} is neither "
+                         f"a worker id nor '-'")
+    return tuple(hints)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-check",
@@ -219,6 +252,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="N",
                         help="flag programs whose modeled critical-path "
                              "cost exceeds N engine cycles (SVC001)")
+    parser.add_argument("--placement-hints", default=None,
+                        metavar="H0,H1,...",
+                        help="comma-separated pool placement hints, one "
+                             "per program step (a worker id, or '-' for "
+                             "no hint); flags producer/consumer pairs "
+                             "split across boards (SVC002)")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings too")
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -239,11 +278,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown program(s): {', '.join(unknown)}; known: "
                      f"{', '.join(sorted(EXAMPLE_PROGRAMS))}")
 
-    params = (EngineParams(deadline_cycles=args.deadline_cycles)
-              if args.deadline_cycles is not None else None)
+    hints = _parse_placement_hints(args.placement_hints, parser)
+    params = (EngineParams(deadline_cycles=args.deadline_cycles,
+                           placement_hints=hints)
+              if (args.deadline_cycles is not None or hints is not None)
+              else None)
     exit_code = 0
     for name in names:
-        report = analyze_program(EXAMPLE_PROGRAMS[name](), params)
+        program = EXAMPLE_PROGRAMS[name]()
+        if (hints is not None and params is not None
+                and len(hints) != len(program.steps)):
+            parser.error(
+                f"--placement-hints names {len(hints)} steps but "
+                f"program {name!r} has {len(program.steps)}")
+        report = analyze_program(program, params)
         _print_report(report, args.verbose)
         if report.errors or (args.strict and report.warnings):
             exit_code = 1

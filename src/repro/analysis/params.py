@@ -11,7 +11,7 @@ engine with :meth:`EngineParams.from_engine`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..core.config import IIM_LINES, OIM_LINES
 from ..core.constraints import (INPUT_TXU_TICKS_PER_CYCLE,
@@ -40,6 +40,10 @@ class EngineParams:
     #: Service deadline budget for a whole program, in engine cycles;
     #: ``None`` disables the SVC001 critical-path check.
     deadline_cycles: Optional[int] = None
+    #: Per-step pool placement hints (worker id or ``None``), aligned
+    #: with the program's step order; ``None`` disables the SVC002
+    #: affinity check.
+    placement_hints: Optional[Tuple[Optional[int], ...]] = None
 
     @classmethod
     def from_engine(cls, engine: "AddressEngine") -> "EngineParams":

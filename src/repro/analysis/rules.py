@@ -85,6 +85,9 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
     Rule("SVC001", Severity.INFO, "service",
          "modeled critical-path cost exceeds the deadline-cycles "
          "budget"),
+    Rule("SVC002", Severity.WARNING, "service",
+         "placement hints split a producer/consumer pair across "
+         "boards, defeating residency affinity"),
 )}
 
 #: Fallback reason code -> the FPA rule that reports it.

@@ -15,8 +15,9 @@ back to the application.  Two execution strategies:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.analyzer import analyze_config
 from ..analysis.diagnostics import ProgramCheckError
@@ -25,6 +26,9 @@ from ..core.config import EngineConfig
 from ..core.engine import AddressEngine, EngineRunResult
 from ..image.frame import Frame
 from ..perf.timing import EngineTimingModel
+
+if TYPE_CHECKING:
+    from ..api import SubmitOptions
 
 
 class FrameResidencyCache:
@@ -115,6 +119,17 @@ class FrameResidencyCache:
         self._inputs = tuple(frames)
         self._result = result_frame
         self._recorded_at = self._generation
+
+    def contains(self, frame: Frame) -> bool:
+        """Whether ``frame`` is in the banks right now (identity test;
+        placement affinity scores boards with this, without the counter
+        side effects of :meth:`plan`)."""
+        if self.max_age is not None and self._recorded_at is not None:
+            if self._generation - self._recorded_at >= self.max_age:
+                return False
+        if self._result is frame:
+            return True
+        return any(cached is frame for cached in self._inputs)
 
     def invalidate(self) -> None:
         """Forget the board state (e.g. after a reconfiguration)."""
@@ -210,6 +225,9 @@ class AddressEngineDriver:
     #: (admission control, expired deadlines); they cost the driver no
     #: interrupts, but the books must still show them.
     calls_shed: int = 0
+    #: Submitted calls tallied per tenant label (only submissions that
+    #: carried a tenant through ``options`` appear here).
+    calls_by_tenant: Dict[str, int] = field(default_factory=dict)
 
     def check(self, config: EngineConfig) -> None:
         """Pre-flight one call; raise :class:`ProgramCheckError` on
@@ -270,6 +288,8 @@ class AddressEngineDriver:
 
     def submit(self, config: EngineConfig, frame_a: Frame,
                frame_b: Optional[Frame] = None,
+               *legacy: object,
+               options: Optional["SubmitOptions"] = None,
                resident: Optional[Sequence[bool]] = None,
                onboard_copy_cycles: int = 0
                ) -> DriverResult:
@@ -277,8 +297,36 @@ class AddressEngineDriver:
 
         ``resident`` flags inputs already on the board (call chaining);
         ``onboard_copy_cycles`` charges a result-bank-to-input-bank move
-        when the previous call's *result* is reused as an input.
+        when the previous call's *result* is reused as an input.  Both
+        are keyword-only; ``options`` (a
+        :class:`~repro.api.SubmitOptions`) contributes the tenant label
+        the per-tenant books tally this submission under.  The old
+        positional ``resident``/``onboard_copy_cycles`` still work but
+        warn with :class:`DeprecationWarning`.
         """
+        if legacy:
+            if (len(legacy) > 2 or resident is not None
+                    or onboard_copy_cycles):
+                raise TypeError(
+                    "AddressEngineDriver.submit takes resident/"
+                    "onboard_copy_cycles keyword-only")
+            warnings.warn(
+                "positional resident/onboard_copy_cycles to "
+                "AddressEngineDriver.submit are deprecated; pass them "
+                "as keywords",
+                DeprecationWarning, stacklevel=2)
+            legacy_resident = legacy[0]
+            assert legacy_resident is None or isinstance(
+                legacy_resident, (list, tuple))
+            resident = legacy_resident
+            if len(legacy) == 2:
+                legacy_copy = legacy[1]
+                assert isinstance(legacy_copy, int)
+                onboard_copy_cycles = legacy_copy
+        tenant = getattr(options, "tenant", None)
+        if tenant is not None:
+            self.calls_by_tenant[tenant] = (
+                self.calls_by_tenant.get(tenant, 0) + 1)
         if self.preflight:
             self.check(config)
         self.calls_submitted += 1

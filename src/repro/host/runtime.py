@@ -12,11 +12,13 @@ workload charge its high-level (host-resident) work separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..addresslib.library import AddressLib, Backend, SoftwareBackend
 from ..addresslib.profiling import OpProfile
+from ..core.pci import PCI_CLOCK_HZ
 from ..perf.cpu_model import CpuModel, PENTIUM_4_3000, PENTIUM_M_1600
+from ..perf.report import base_report_dict
 from .backend import EngineBackend
 
 
@@ -43,6 +45,26 @@ class RunReport:
     @property
     def total_seconds(self) -> float:
         return self.call_seconds + self.high_level_seconds
+
+    def to_dict(self, clock_hz: float = PCI_CLOCK_HZ) -> Dict[str, object]:
+        """Schema-conforming books (see ``perf.report``)."""
+        return base_report_dict(
+            "run",
+            calls=self.total_calls,
+            cycles=self.call_seconds * clock_hz,
+            cache={"hits": self.residency_hits,
+                   "misses": self.residency_misses,
+                   "result_reuses": self.residency_result_reuses,
+                   "evictions": self.residency_evictions},
+            shed=0,
+            platform=self.platform,
+            intra_calls=self.intra_calls,
+            inter_calls=self.inter_calls,
+            segment_calls=self.segment_calls,
+            call_seconds=self.call_seconds,
+            high_level_seconds=self.high_level_seconds,
+            total_seconds=self.total_seconds,
+        )
 
 
 class Runtime:

@@ -46,8 +46,10 @@ from ..addresslib.ops import (ChannelSet, InterOp, INTER_OPS, INTRA_OPS,
                               IntraOp)
 from ..addresslib.program import (CallProgram, ProgramStep,
                                   dependency_levels)
+from ..core.pci import PCI_CLOCK_HZ
 from ..image.frame import Frame
-from ..perf.timing import EngineTimingModel
+from ..perf.report import base_report_dict
+from ..perf.timing import EngineTimingModel, list_scheduled_makespan
 
 _KERNEL_PREFIX = "kernel_"
 
@@ -99,6 +101,22 @@ class BatchReport:
         if self.modeled_pipelined_seconds <= 0.0:
             return 1.0
         return self.modeled_serial_seconds / self.modeled_pipelined_seconds
+
+    def to_dict(self, clock_hz: float = PCI_CLOCK_HZ) -> Dict[str, object]:
+        """Schema-conforming books (see ``perf.report``)."""
+        return base_report_dict(
+            "batch",
+            calls=self.calls,
+            cycles=self.modeled_pipelined_seconds * clock_hz,
+            shed=0,
+            waves=self.waves,
+            workers=self.workers,
+            pool_calls=self.pool_calls,
+            inline_calls=self.inline_calls,
+            modeled_serial_seconds=self.modeled_serial_seconds,
+            modeled_pipelined_seconds=self.modeled_pipelined_seconds,
+            modeled_speedup=self.modeled_speedup,
+        )
 
 
 @dataclass
@@ -212,19 +230,15 @@ class CallScheduler(BatchExecutor):
     # -- modelled timing ------------------------------------------------------
 
     def _call_costs(self, call: BatchCall) -> Tuple[float, float]:
-        """(serial-model, overlap-model) seconds of one call."""
-        fmt = call.fmt
-        images_in = 2 if call.mode is AddressingMode.INTER else 1
-        produces_image = not call.reduce_to_scalar
-        full_frames = (call.mode is AddressingMode.INTER
-                       and call.op.name in self.special_inter_ops)
-        serial = self.timing.serial_call_seconds_raw(
-            fmt.pixels, fmt.strips, images_in, produces_image,
-            full_frames)
-        overlapped = self.timing.overlapped_call_seconds_raw(
-            fmt.pixels, fmt.strips, images_in, produces_image,
-            full_frames)
-        return serial, overlapped
+        """(serial-model, overlap-model) seconds of one call.
+
+        Delegates to the stack's one pricing definition
+        (:func:`repro.pool.pricing.call_cost_seconds`); imported lazily
+        because the pool package itself builds on this module.
+        """
+        from ..pool.pricing import call_cost_seconds
+        return call_cost_seconds(call, self.timing,
+                                 self.special_inter_ops)
 
     def _modeled_wave(self, calls: Sequence[BatchCall]
                       ) -> Tuple[float, float]:
@@ -236,11 +250,7 @@ class CallScheduler(BatchExecutor):
             call_serial, call_overlapped = self._call_costs(call)
             serial += call_serial
             costs.append(call_overlapped)
-        loads = [0.0] * self.max_workers
-        for cost in sorted(costs, reverse=True):
-            slot = loads.index(min(loads))
-            loads[slot] += cost
-        return serial, max(loads) if loads else 0.0
+        return serial, list_scheduled_makespan(costs, self.max_workers)
 
     # -- batch execution ------------------------------------------------------
 

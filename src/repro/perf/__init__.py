@@ -12,14 +12,18 @@ from .metrics import (best_segment_match, dice, iou, mae, mse, psnr,
                       segment_iou)
 from .memory_accounting import (MemoryAccessRow, PAPER_TABLE2,
                                 hardware_accesses, table2_rows)
-from .report import (call_log_rows, format_seconds, format_table,
-                     ratio_line, write_call_log_csv)
-from .timing import EngineTimingModel
+from .report import (REPORT_SCHEMA_KEYS, base_report_dict, call_log_rows,
+                     format_seconds, format_table, ratio_line,
+                     write_call_log_csv)
+from .timing import EngineTimingModel, list_scheduled_makespan
 
 __all__ = [
     "CpuModel",
     "DEFAULT_CPI",
     "EngineTimingModel",
+    "REPORT_SCHEMA_KEYS",
+    "base_report_dict",
+    "list_scheduled_makespan",
     "LatencyTracker",
     "MemoryAccessRow",
     "best_segment_match",

@@ -14,7 +14,7 @@ conversion per sample.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -65,16 +65,21 @@ class LatencyTracker:
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Percentile ``q`` (0..100); 0.0 with no samples recorded."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Percentile ``q`` (0..100); ``None`` with no samples recorded.
+
+        A percentile of an empty sample set is *undefined*, not zero: a
+        drain that completed nothing must report "no latency figure",
+        never a fake 0.0 that would read as an impossibly fast service.
+        """
         if not self._samples:
-            return 0.0
+            return None
         return percentile(self._samples, q)
 
     @property
-    def p50(self) -> float:
+    def p50(self) -> Optional[float]:
         return self.quantile(50.0)
 
     @property
-    def p95(self) -> float:
+    def p95(self) -> Optional[float]:
         return self.quantile(95.0)

@@ -1,13 +1,52 @@
-"""Plain-text table rendering for benches and EXPERIMENTS.md.
+"""Plain-text table rendering and the shared report schema.
 
 Every benchmark prints the rows/series its paper table reports, side by
 side with the paper's published values.  This module provides the small
-formatting helpers they share, so the output stays uniform.
+formatting helpers they share, so the output stays uniform, plus the
+one ``to_dict()`` schema every report type
+(:class:`~repro.host.runtime.RunReport`,
+:class:`~repro.host.scheduler.BatchReport`,
+:class:`~repro.service.ServiceReport`,
+:class:`~repro.pool.PoolReport`) serialises through, so
+``repro.summary`` and the BENCH emitters never special-case a report
+type again.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+#: The keys every report's ``to_dict()`` payload carries, whatever the
+#: report type: ``kind`` names the report, ``calls`` counts executed
+#: calls, ``cycles`` is the modeled engine-busy time expressed in PCI
+#: clock cycles, ``cache`` holds the residency-cache counters (empty
+#: when the layer has none), ``shed`` counts work dropped before
+#: execution.
+REPORT_SCHEMA_KEYS = ("kind", "calls", "cycles", "cache", "shed")
+
+
+def base_report_dict(kind: str, *, calls: int, cycles: float,
+                     cache: Optional[Mapping[str, int]] = None,
+                     shed: int = 0, **extra) -> Dict[str, object]:
+    """Build one schema-conforming report dictionary.
+
+    The shared keys are pinned by :data:`REPORT_SCHEMA_KEYS`; report
+    types append their own figures through ``extra`` but may not shadow
+    a shared key (that would silently fork the schema).
+    """
+    payload: Dict[str, object] = {
+        "kind": kind,
+        "calls": int(calls),
+        "cycles": float(cycles),
+        "cache": dict(cache) if cache else {},
+        "shed": int(shed),
+    }
+    clashes = set(payload) & set(extra)
+    if clashes:
+        raise ValueError(f"extra report keys shadow the shared schema: "
+                         f"{sorted(clashes)}")
+    payload.update(extra)
+    return payload
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

@@ -21,10 +21,28 @@ derived from -- and checked by tests against -- the cycle-level model in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.config import EngineConfig
 from ..core.constraints import PLC_TICKS_PER_CYCLE
 from ..core.pci import DEFAULT_JOB_OVERHEAD_CYCLES, PCI_CLOCK_HZ
+
+
+def list_scheduled_makespan(costs: Sequence[float], engines: int) -> float:
+    """LPT list-scheduled makespan of ``costs`` across ``engines``.
+
+    The one modelled-dispatch rule every layer prices multi-engine
+    execution with: the call scheduler's per-wave makespan, an
+    :class:`~repro.pool.EngineWorker`'s wave cost across its modelled
+    boards, and the legacy ``virtual_engines`` accounting of
+    :class:`~repro.service.EngineService`.  Longest-processing-time
+    ordering, each cost on the least-loaded engine.
+    """
+    loads = [0.0] * max(1, engines)
+    for cost in sorted(costs, reverse=True):
+        slot = loads.index(min(loads))
+        loads[slot] += cost
+    return max(loads)
 
 
 @dataclass(frozen=True)

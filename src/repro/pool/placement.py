@@ -1,0 +1,80 @@
+"""Pluggable placement: which board gets the next wave.
+
+A placement policy sees the wave's calls and the list of *alive*
+workers and picks one.  Policies only read modeled state (``busy_until``
+backlogs, residency banks) -- they never execute anything -- so swapping
+policies can change latency and per-board utilisation but never the
+results, which stay bit-exact with serial submission by construction.
+
+Ties break on the lowest ``worker_id`` so routing is deterministic for
+a given submission order, keeping replays and the equivalence corpus
+stable across runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..addresslib.library import BatchCall
+from .worker import EngineWorker
+
+
+class PlacementPolicy(ABC):
+    """Chooses the worker a wave is dispatched to."""
+
+    #: Short policy name, surfaced in pool reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, calls: Sequence[BatchCall],
+               workers: Sequence[EngineWorker]) -> EngineWorker:
+        """Pick one of ``workers`` (never empty) for ``calls``."""
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Send the wave to the board with the earliest modeled free time."""
+
+    name = "least_loaded"
+
+    def choose(self, calls: Sequence[BatchCall],
+               workers: Sequence[EngineWorker]) -> EngineWorker:
+        return min(workers, key=lambda w: (w.busy_until, w.worker_id))
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Rotate waves across boards regardless of backlog.
+
+    Mostly a baseline to measure the smarter policies against; it keeps
+    per-board call counts level even when wave costs are skewed.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, calls: Sequence[BatchCall],
+               workers: Sequence[EngineWorker]) -> EngineWorker:
+        worker = workers[self._next % len(workers)]
+        self._next += 1
+        return worker
+
+
+class ResidencyAffinityPlacement(PlacementPolicy):
+    """Prefer the board whose ZBT banks already hold the wave's frames.
+
+    A frame resident on a board makes that board cheaper for calls
+    reading it (the PCI upload is skipped), so waves are attracted to
+    the board with the highest residency score; backlog breaks ties, so
+    with no resident inputs anywhere this degrades to least-loaded.
+    """
+
+    name = "residency_affinity"
+
+    def choose(self, calls: Sequence[BatchCall],
+               workers: Sequence[EngineWorker]) -> EngineWorker:
+        return min(
+            workers,
+            key=lambda w: (-w.affinity_score(calls), w.busy_until,
+                           w.worker_id))

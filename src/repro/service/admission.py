@@ -18,31 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
-from ..addresslib.addressing import AddressingMode
 from ..addresslib.library import BatchCall
 from ..perf.timing import EngineTimingModel
+# The canonical pricing arithmetic lives with the pool (the lowest
+# layer that needs it); re-exported here because admission is where
+# service code historically imported it from.
+from ..pool.pricing import call_cost_seconds
 from .request import Priority, RejectReason, ServiceRequest
 
-
-def call_cost_seconds(call: BatchCall, timing: EngineTimingModel,
-                      special_inter_ops: FrozenSet[str] = frozenset()
-                      ) -> Tuple[float, float]:
-    """(serial-model, overlap-model) seconds of one call's geometry.
-
-    The same arithmetic :class:`~repro.host.scheduler.CallScheduler`
-    prices batches with, so service admission, scheduler makespans and
-    driver submission all account one call identically.
-    """
-    fmt = call.fmt
-    images_in = 2 if call.mode is AddressingMode.INTER else 1
-    produces_image = not call.reduce_to_scalar
-    full_frames = (call.mode is AddressingMode.INTER
-                   and call.op.name in special_inter_ops)
-    serial = timing.serial_call_seconds_raw(
-        fmt.pixels, fmt.strips, images_in, produces_image, full_frames)
-    overlapped = timing.overlapped_call_seconds_raw(
-        fmt.pixels, fmt.strips, images_in, produces_image, full_frames)
-    return serial, overlapped
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "call_cost_seconds",
+]
 
 
 def _default_budget_fractions() -> Dict[Priority, float]:

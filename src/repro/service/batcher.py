@@ -68,14 +68,18 @@ class MicroBatcher:
 
         The head is always the request strict priority order would
         dispatch next, so coalescing never inverts priorities -- it only
-        lets compatible work *join* the head's wave early.
+        lets compatible work *join* the head's wave early.  A wave is
+        dispatched to one pool worker whole, so requests only coalesce
+        when their placement hints agree with the head's (two requests
+        pinned to different boards must not share a wave).
         """
         if not queue:
             return []
         head = queue.pop_next()
         key = BatchKey.of(head.call)
         wave = [head] + queue.pop_compatible(
-            lambda request: BatchKey.of(request.call) == key,
+            lambda request: (BatchKey.of(request.call) == key
+                             and request.placement == head.placement),
             self.max_batch - 1)
         self.waves += 1
         if len(wave) > 1:

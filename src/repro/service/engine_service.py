@@ -6,53 +6,54 @@ ROADMAP's north star is the opposite: many independent clients and one
 it accepts :class:`~repro.addresslib.library.BatchCall` requests,
 admits or sheds them (:mod:`repro.service.admission`), queues them with
 priorities and bounded depth (:mod:`repro.service.queue`), coalesces
-compatible calls into waves (:mod:`repro.service.batcher`) and executes
-each wave through :meth:`AddressLib.run_batch`, optionally sharded by a
-:class:`~repro.host.scheduler.CallScheduler`.
+compatible calls into waves (:mod:`repro.service.batcher`) and routes
+each wave to one board of an :class:`~repro.pool.EnginePool` through
+its placement policy.
 
 Time is *modeled* time: the service keeps a virtual clock in seconds of
 the validated overlap timing model, exactly as the Table 3 evaluation
 keeps modelled wall clocks.  That makes every admission decision,
 deadline, and latency percentile deterministic and machine-independent
 -- and bit-exactness trivially auditable, because execution itself is
-the same vector executor the serial path runs.
+the same vector executor the serial path runs, whichever board a wave
+lands on.
 
 The flow::
 
-    service = EngineService(queue_depth=64,
+    from repro.api import EngineService, EnginePool, SubmitOptions
+
+    service = EngineService(pool=EnginePool.of_engines(4),
+                            queue_depth=64,
                             policy=AdmissionPolicy(0.050))
     ticket = service.submit(BatchCall.intra(INTRA_GRAD, frame),
-                            priority=Priority.INTERACTIVE,
-                            deadline_seconds=0.030)
+                            options=SubmitOptions(
+                                priority=Priority.INTERACTIVE,
+                                deadline_seconds=0.030))
     report = service.drain()          # -> ServiceReport
     edges = ticket.result()           # bit-exact Frame
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from ..addresslib.library import AddressLib, BatchCall, SoftwareBackend
 from ..host.scheduler import CallScheduler
 from ..image.frame import Frame
 from ..perf.latency import LatencyTracker
+from ..perf.report import base_report_dict
 from ..perf.timing import EngineTimingModel
+from ..pool import EnginePool, PoolReport
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import MicroBatcher
 from .queue import RequestQueue
 from .request import (Priority, RejectReason, RequestState, ServiceRequest,
                       ServiceTicket)
 
-
-def _makespan(costs: Sequence[float], engines: int) -> float:
-    """LPT list-scheduled makespan of ``costs`` across ``engines``
-    (the same modelled-dispatch rule the call scheduler prices with)."""
-    loads = [0.0] * max(1, engines)
-    for cost in sorted(costs, reverse=True):
-        slot = loads.index(min(loads))
-        loads[slot] += cost
-    return max(loads)
+if TYPE_CHECKING:
+    from ..api import SubmitOptions
 
 
 @dataclass
@@ -75,7 +76,7 @@ class ServiceReport:
     coalesced_requests: int = 0
     queue_depth: int = 0
     queue_high_water: int = 0
-    #: Modeled engine-busy seconds (sum of wave makespans).
+    #: Modeled engine-busy seconds (sum of wave makespans over the pool).
     busy_seconds: float = 0.0
     #: What the executed calls would cost serially under the no-overlap
     #: (sum) model -- the denominator of :attr:`overlap_efficiency`.
@@ -84,6 +85,12 @@ class ServiceReport:
     latency: LatencyTracker = field(default_factory=LatencyTracker)
     #: Service clock when the report was cut.
     clock_seconds: float = 0.0
+    #: Completed calls tallied per tenant label (untagged calls absent).
+    calls_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: Per-board books of the pool that served this run.
+    pool: Optional[PoolReport] = None
+    #: Clock the ``cycles`` figure of :meth:`to_dict` is expressed in.
+    clock_hz: float = 0.0
 
     @property
     def rejected(self) -> int:
@@ -110,18 +117,56 @@ class ServiceReport:
         requests stay in this count until they complete or expire."""
         return self.accepted - self.completed - self.timed_out
 
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-conforming books (see ``perf.report``): the shared
+        keys plus the serving figures, with the pool's per-board books
+        nested under ``pool``."""
+        latency = {
+            "count": self.latency.count,
+            "mean_seconds": self.latency.mean,
+            "p50_seconds": self.latency.p50,
+            "p95_seconds": self.latency.p95,
+            "max_seconds": self.latency.max,
+        }
+        return base_report_dict(
+            "service",
+            calls=self.completed,
+            cycles=self.busy_seconds * self.clock_hz,
+            cache=(self.pool.residency if self.pool else {}),
+            shed=self.rejected + self.timed_out,
+            submitted=self.submitted,
+            accepted=self.accepted,
+            completed=self.completed,
+            rejected_by_reason=dict(self.rejected_by_reason),
+            timed_out=self.timed_out,
+            retried=self.retried,
+            waves=self.waves,
+            coalesced_requests=self.coalesced_requests,
+            queue_depth=self.queue_depth,
+            queue_high_water=self.queue_high_water,
+            busy_seconds=self.busy_seconds,
+            modeled_serial_seconds=self.modeled_serial_seconds,
+            overlap_efficiency=self.overlap_efficiency,
+            reject_rate=self.reject_rate,
+            clock_seconds=self.clock_seconds,
+            latency=latency,
+            calls_by_tenant=dict(self.calls_by_tenant),
+            pool=(self.pool.to_dict() if self.pool else None),
+        )
+
 
 class EngineService:
-    """Synchronous submit/drain front end over an AddressLib stack.
+    """Synchronous submit/drain front end over an engine pool.
 
-    ``lib`` defaults to a software-backed library; hand it an
-    engine-backed one (``AddressLib(EngineBackend())``) to serve the
-    coprocessor model, or pass a :class:`CallScheduler` to shard waves
-    across engine workers.  ``virtual_engines`` sets how many modelled
-    boards the makespan accounting assumes (defaults to the scheduler's
-    worker count, or 1): execution is bit-exact either way, only the
-    modelled timing changes -- the same machine-independence contract as
-    the scheduler's ``BatchReport``.
+    Hand it a :class:`~repro.pool.EnginePool` (``pool=``) to serve N
+    modelled boards behind the one submission API.  The legacy shape --
+    a bare ``lib`` (plus optional ``scheduler``) -- still works: the
+    service wraps it as a single-worker pool whose worker models
+    ``virtual_engines`` boards, so the books are bit-identical to what
+    the pre-pool service produced.  Execution is bit-exact in every
+    shape; only the modelled timing and per-board accounting change --
+    the same machine-independence contract as the scheduler's
+    ``BatchReport``.
     """
 
     def __init__(self, lib: Optional[AddressLib] = None,
@@ -131,55 +176,85 @@ class EngineService:
                  policy: Optional[AdmissionPolicy] = None,
                  admission: Optional[AdmissionController] = None,
                  virtual_engines: Optional[int] = None,
-                 timing: Optional[EngineTimingModel] = None) -> None:
-        self.lib = lib or AddressLib(SoftwareBackend())
-        self.scheduler = scheduler
-        self.timing = timing or (scheduler.timing if scheduler
-                                 else EngineTimingModel())
-        special = frozenset(getattr(self.lib.backend,
-                                    "special_inter_ops", frozenset()))
+                 timing: Optional[EngineTimingModel] = None,
+                 pool: Optional[EnginePool] = None) -> None:
+        if pool is not None:
+            if lib is not None or scheduler is not None:
+                raise ValueError(
+                    "pass either pool= or lib=/scheduler=, not both")
+            self.pool = pool
+            self.scheduler = None
+            self.lib = pool.workers[0].lib
+            self.timing = timing or pool.timing
+            self.virtual_engines = pool.total_modeled_engines
+        else:
+            self.lib = lib or AddressLib(SoftwareBackend())
+            self.scheduler = scheduler
+            self.timing = timing or (scheduler.timing if scheduler
+                                     else EngineTimingModel())
+            self.virtual_engines = max(1, virtual_engines
+                                       or (scheduler.max_workers
+                                           if scheduler else 1))
+            self.pool = EnginePool.adopt(
+                self.lib, scheduler=scheduler,
+                modeled_engines=self.virtual_engines, timing=self.timing)
+        special = self.pool.special_inter_ops
         self.admission = admission or AdmissionController(
             timing=self.timing, policy=policy, special_inter_ops=special)
         self.queue = RequestQueue(max_depth=queue_depth)
         self.batcher = MicroBatcher(max_batch=max_batch)
-        self.virtual_engines = max(1, virtual_engines
-                                   or (scheduler.max_workers
-                                       if scheduler else 1))
         #: The service's modeled "now": advanced by arrivals and waves.
         self.clock = 0.0
-        #: Modeled time the engine pool is busy until.
-        self.busy_until = 0.0
         self.report_data = ServiceReport()
         self._pending_cost_seconds = 0.0
         self._next_request_id = 0
         self._tickets: Dict[int, ServiceTicket] = {}
 
+    @property
+    def busy_until(self) -> float:
+        """Modeled time the pool's earliest board comes free."""
+        return self.pool.min_busy_until()
+
     # -- submission -----------------------------------------------------------
 
     def submit(self, call: BatchCall,
-               priority: Priority = Priority.STANDARD,
+               options: Optional["SubmitOptions"] = None,
+               *legacy_args: object,
+               priority: Optional[Priority] = None,
                deadline_seconds: Optional[float] = None,
-               max_retries: int = 0,
+               max_retries: Optional[int] = None,
                arrival_seconds: Optional[float] = None) -> ServiceTicket:
         """Offer one call; returns a ticket that is either queued or
         already rejected (explicit backpressure, never an exception).
 
-        ``arrival_seconds`` places the request on the modeled clock (an
-        open-loop load generator submits a whole trace this way); it
-        defaults to "now" and never moves the clock backwards.
+        All serving metadata arrives through ``options`` (a
+        :class:`~repro.api.SubmitOptions`): priority class, relative
+        deadline, retry budget, tenant label, placement hint, and
+        ``arrival_seconds`` to place the request on the modeled clock
+        (an open-loop load generator submits a whole trace this way --
+        arrivals default to "now" and never move the clock backwards).
+        The pre-pool keyword and positional signature
+        (``priority=, deadline_seconds=, max_retries=,
+        arrival_seconds=``) still works but warns with
+        :class:`DeprecationWarning`.
         """
-        if arrival_seconds is not None:
-            self.clock = max(self.clock, arrival_seconds)
+        options = self._coerce_options(
+            options, legacy_args, priority, deadline_seconds,
+            max_retries, arrival_seconds)
+        if options.arrival_seconds is not None:
+            self.clock = max(self.clock, options.arrival_seconds)
         arrival = self.clock
         serial_cost, overlapped_cost = self.admission.price(call)
         request = ServiceRequest(
             request_id=self._next_request_id, call=call,
-            priority=priority, arrival_seconds=arrival,
-            deadline_seconds=deadline_seconds, max_retries=max_retries,
-            estimated_cost_seconds=overlapped_cost)
+            priority=options.priority, arrival_seconds=arrival,
+            deadline_seconds=options.deadline_seconds,
+            max_retries=options.max_retries,
+            estimated_cost_seconds=overlapped_cost,
+            tenant=options.tenant, placement=options.placement)
         self._next_request_id += 1
         ticket = ServiceTicket(request_id=request.request_id,
-                               priority=priority,
+                               priority=options.priority,
                                arrival_seconds=arrival)
         self._tickets[request.request_id] = ticket
         self.report_data.submitted += 1
@@ -196,9 +271,54 @@ class EngineService:
         self.report_data.accepted += 1
         return ticket
 
+    def _coerce_options(self, options, legacy_args, priority,
+                        deadline_seconds, max_retries,
+                        arrival_seconds) -> "SubmitOptions":
+        """One SubmitOptions from whichever signature the caller used."""
+        from ..api import SubmitOptions
+        if options is not None and not isinstance(options, SubmitOptions):
+            # Old positional signature: submit(call, priority, ...).
+            legacy_args = (options,) + legacy_args
+            options = None
+        if legacy_args:
+            if len(legacy_args) > 4:
+                raise TypeError(
+                    f"submit takes at most a call and SubmitOptions; "
+                    f"got {len(legacy_args) + 1} positional arguments")
+            names = ("priority", "deadline_seconds", "max_retries",
+                     "arrival_seconds")
+            legacy_kw = dict(zip(names, legacy_args))
+            priority = legacy_kw.get("priority", priority)
+            deadline_seconds = legacy_kw.get("deadline_seconds",
+                                             deadline_seconds)
+            max_retries = legacy_kw.get("max_retries", max_retries)
+            arrival_seconds = legacy_kw.get("arrival_seconds",
+                                            arrival_seconds)
+        legacy_used = any(v is not None for v in (
+            priority, deadline_seconds, max_retries, arrival_seconds))
+        if options is not None:
+            if legacy_used:
+                raise TypeError(
+                    "pass serving metadata through options= OR the "
+                    "deprecated keywords, not both")
+            return options
+        if legacy_used:
+            warnings.warn(
+                "EngineService.submit(priority=, deadline_seconds=, "
+                "max_retries=, arrival_seconds=) is deprecated; pass "
+                "submit(call, options=SubmitOptions(...))",
+                DeprecationWarning, stacklevel=3)
+        return SubmitOptions(
+            priority=(priority if priority is not None
+                      else Priority.STANDARD),
+            deadline_seconds=deadline_seconds,
+            max_retries=max_retries or 0,
+            arrival_seconds=arrival_seconds)
+
     def _admit(self, request: ServiceRequest) -> Optional[RejectReason]:
+        alive = len(self.pool.alive()) or 1
         backlog = (max(0.0, self.busy_until - self.clock)
-                   + self._pending_cost_seconds)
+                   + self._pending_cost_seconds / alive)
         return self.admission.admit(request, backlog)
 
     def _reject(self, ticket: ServiceTicket,
@@ -207,13 +327,7 @@ class EngineService:
         ticket.reject_reason = reason
         by_reason = self.report_data.rejected_by_reason
         by_reason[reason.value] = by_reason.get(reason.value, 0) + 1
-        self._account_shed()
-
-    def _account_shed(self) -> None:
-        """Driver accounting hook: shed calls show in the board books."""
-        driver = getattr(self.lib.backend, "driver", None)
-        if driver is not None:
-            driver.account_shed()
+        self.pool.account_shed()
 
     # -- dispatch -------------------------------------------------------------
 
@@ -224,24 +338,28 @@ class EngineService:
             return False
         for request in wave:
             self._pending_cost_seconds -= request.estimated_cost_seconds
-        start = max(self.busy_until,
-                    max(r.effective_arrival_seconds for r in wave))
-        survivors = [r for r in wave if not self._expire(r, start)]
+        not_before = max(r.effective_arrival_seconds for r in wave)
+        start_estimate = max(self.busy_until, not_before)
+        survivors = [r for r in wave
+                     if not self._expire(r, start_estimate)]
         if not survivors:
             return True
-        results = self.lib.run_batch([r.call for r in survivors],
-                                     scheduler=self.scheduler)
-        costs = []
+        dispatch = self.pool.dispatch(
+            [r.call for r in survivors], not_before=not_before,
+            hint=survivors[0].placement)
         for request in survivors:
             serial, overlapped = self.admission.price(request.call)
             self.report_data.modeled_serial_seconds += serial
-            costs.append(overlapped)
-        wave_end = start + _makespan(costs, self.virtual_engines)
-        self.busy_until = wave_end
+            if request.tenant is not None:
+                by_tenant = self.report_data.calls_by_tenant
+                by_tenant[request.tenant] = (
+                    by_tenant.get(request.tenant, 0) + 1)
+        wave_end = dispatch.end_seconds
         self.clock = max(self.clock, wave_end)
-        self.report_data.busy_seconds += wave_end - start
+        self.report_data.busy_seconds += (wave_end
+                                          - dispatch.start_seconds)
         self.report_data.waves += 1
-        for request, result in zip(survivors, results):
+        for request, result in zip(survivors, dispatch.results):
             request.attempts += 1
             self._complete(request, result, wave_end)
         return True
@@ -267,7 +385,7 @@ class EngineService:
         ticket.state = RequestState.TIMED_OUT
         ticket.attempts = request.attempts
         self.report_data.timed_out += 1
-        self._account_shed()
+        self.pool.account_shed()
         return True
 
     def _complete(self, request: ServiceRequest,
@@ -285,13 +403,18 @@ class EngineService:
 
     def run_until(self, seconds: float) -> None:
         """Advance the modeled clock to ``seconds``, dispatching every
-        wave the engine can start before then (open-loop serving)."""
+        wave the pool can start before then (open-loop serving)."""
         while self.queue and self.busy_until < seconds:
             self.step()
         self.clock = max(self.clock, seconds)
 
     def drain(self) -> ServiceReport:
-        """Dispatch until the queue is empty; returns the books."""
+        """Dispatch until the queue is empty; returns the books.
+
+        Always finalises -- a drain that completed zero requests still
+        returns a coherent report whose latency percentiles read
+        ``None`` (undefined), never a fake 0.0.
+        """
         while self.queue:
             self.step()
         return self.report()
@@ -303,4 +426,6 @@ class EngineService:
         self.report_data.coalesced_requests = (
             self.batcher.coalesced_requests)
         self.report_data.clock_seconds = self.clock
+        self.report_data.clock_hz = self.timing.clock_hz
+        self.report_data.pool = self.pool.report(self.clock)
         return self.report_data

@@ -90,19 +90,24 @@ def claims_section() -> str:
         title="Section 1 / 4.1 claims")
 
 
+def _ms(seconds) -> str:
+    """Milliseconds, or ``--`` for an undefined (empty-book) figure."""
+    return "--" if seconds is None else f"{seconds * 1e3:.2f} ms"
+
+
 def health_section() -> str:
     """Engine + cache + service health in one table.
 
     One chained workload exercises the :class:`FrameResidencyCache`
     (hits, on-board result reuse, misses, evictions); a burst of
-    service requests through :class:`~repro.service.EngineService`
+    service requests through :class:`~repro.api.EngineService`
     exercises admission, micro-batching and the latency books.  All
     figures are modeled (deterministic), like the rest of the summary.
     """
     from .addresslib import (BatchCall, AddressLib, INTER_ABSDIFF,
                              INTRA_BOX3, INTRA_GRAD)
+    from .api import AdmissionPolicy, EngineService
     from .host import EngineBackend
-    from .service import AdmissionPolicy, EngineService
 
     frame = blob_frame(QCIF, [(30, 30), (100, 80)], radius=16)
     backend = EngineBackend(chain_frames=True, residency_max_age=4)
@@ -137,8 +142,7 @@ def health_section() -> str:
          ("overlap efficiency (4 modeled engines)",
           f"{100 * report.overlap_efficiency:.1f}%"),
          ("modeled latency p50 / p95",
-          f"{report.latency.p50 * 1e3:.2f} ms / "
-          f"{report.latency.p95 * 1e3:.2f} ms"),
+          f"{_ms(report.latency.p50)} / {_ms(report.latency.p95)}"),
          ("driver calls submitted / shed",
           f"{backend.driver.calls_submitted} / "
           f"{backend.driver.calls_shed}")],

@@ -45,8 +45,11 @@ class TestLatencyTracker:
         assert tracker.p95 == pytest.approx(95.05)
         assert tracker.p50 < tracker.p95 <= tracker.max
 
-    def test_empty_tracker_answers_zero(self):
+    def test_empty_tracker_percentiles_are_undefined(self):
+        # A percentile of zero samples is undefined -- None, never a
+        # fake 0.0 that would read as an impossibly fast service.
         tracker = LatencyTracker()
         assert tracker.count == 0
         assert tracker.mean == 0.0
-        assert tracker.p50 == 0.0 and tracker.p95 == 0.0
+        assert tracker.p50 is None and tracker.p95 is None
+        assert tracker.quantile(99.0) is None
