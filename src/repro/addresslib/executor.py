@@ -53,6 +53,12 @@ def plane_pixels_420(fmt: ImageFormat, channel: Channel) -> int:
 # Vectorised functional executor
 # ---------------------------------------------------------------------------
 
+try:
+    from numpy.lib.stride_tricks import sliding_window_view
+except ImportError:  # pragma: no cover - numpy < 1.20
+    sliding_window_view = None
+
+
 def _clamped_shift(plane: np.ndarray, dx: int, dy: int) -> np.ndarray:
     """The plane shifted so element (y, x) holds plane[y+dy, x+dx], borders
     replicated (the AddressLib clamp policy)."""
@@ -64,11 +70,46 @@ def _clamped_shift(plane: np.ndarray, dx: int, dy: int) -> np.ndarray:
                   pad_x + dx:pad_x + dx + width]
 
 
-def neighbourhood_stack(plane: np.ndarray,
-                        neighbourhood: Neighbourhood) -> np.ndarray:
-    """Stack of clamped-shifted planes, one per neighbourhood offset."""
+def neighbourhood_stack_shifted(plane: np.ndarray,
+                                neighbourhood: Neighbourhood
+                                ) -> np.ndarray:
+    """Reference implementation: one padded copy per offset.
+
+    Kept as the golden reference for :func:`neighbourhood_stack` (and
+    as the fallback where numpy lacks ``sliding_window_view``): a CON_8
+    intra materializes nine padded planes here versus one there.
+    """
     return np.stack([_clamped_shift(plane, dx, dy)
                      for dx, dy in neighbourhood.offsets])
+
+
+def neighbourhood_stack(plane: np.ndarray,
+                        neighbourhood: Neighbourhood) -> np.ndarray:
+    """Stack of clamped-shifted planes, one per neighbourhood offset.
+
+    Pads the plane *once* over the neighbourhood's bounding box
+    (edge-replicated, the AddressLib clamp policy) and takes each
+    offset's plane as a ``sliding_window_view`` window of the padded
+    buffer -- bit-identical to :func:`neighbourhood_stack_shifted`
+    without its per-offset padded copies.
+    """
+    if sliding_window_view is None:
+        return neighbourhood_stack_shifted(plane, neighbourhood)
+    offsets = neighbourhood.offsets
+    if len(offsets) == 1:  # CON_0: the stack is the plane itself
+        dx, dy = offsets[0]
+        if dx == 0 and dy == 0:
+            return plane[np.newaxis]
+    min_dx, min_dy, max_dx, max_dy = neighbourhood.bounding_box()
+    pad_top = max(0, -min_dy)
+    pad_bottom = max(0, max_dy)
+    pad_left = max(0, -min_dx)
+    pad_right = max(0, max_dx)
+    padded = np.pad(plane, ((pad_top, pad_bottom),
+                            (pad_left, pad_right)), mode="edge")
+    windows = sliding_window_view(padded, plane.shape)
+    return np.stack([windows[pad_top + dy, pad_left + dx]
+                     for dx, dy in offsets])
 
 
 class VectorExecutor:
@@ -208,7 +249,7 @@ class CountedExecutor:
             output.write(channel, fx, fy, op.apply_scalar(values))
             previous = (x, y)
 
-    # -- helpers ---------------------------------------------------------------
+    # -- helpers --------------------------------------------------------------
 
     @staticmethod
     def _plane_dims(frame: PlanarFrame420,

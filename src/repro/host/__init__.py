@@ -8,6 +8,8 @@ from .driver import (AddressEngineDriver, CallPrice, DriverResult,
 from .runtime import (RunReport, Runtime, engine_platform,
                       software_platform)
 from .scheduler import (BatchReport, CallScheduler, ProgramOutcome)
+from .shm import (SHARED_MEMORY_AVAILABLE, FrameHandle, PlaneStore,
+                  ResultHandle, frame_payload_bytes)
 
 __all__ = [
     "AddressEngineDriver",
@@ -16,10 +18,15 @@ __all__ = [
     "CallScheduler",
     "DriverResult",
     "EngineBackend",
+    "FrameHandle",
     "FrameResidencyCache",
     "EngineBackendV2",
+    "PlaneStore",
     "ProgramCheckError",
     "ProgramOutcome",
+    "ResultHandle",
+    "SHARED_MEMORY_AVAILABLE",
+    "frame_payload_bytes",
     "RunReport",
     "Runtime",
     "engine_platform",

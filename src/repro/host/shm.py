@@ -1,0 +1,503 @@
+"""Zero-copy frame transport between the scheduler and its workers.
+
+The paper's host moves every frame over the PCI bus by DMA, and the
+board design (strip jobs, block_A/block_B double buffering, interrupt
+batching) exists to keep that bus off the critical path; section 4.3
+observes the penalty when it is not ("the host accessed the board after
+every call to the AddressLib").  The scheduler's parent<->worker
+boundary has exactly the same structure: pickling a frame into a
+``ProcessPoolExecutor`` is this model's PCI transfer, and it was the
+measured wall-clock limiter.  This module is the DMA engine of that
+analogy -- each :class:`~repro.image.frame.Frame`'s five planes are
+written *once* into a ``multiprocessing.shared_memory`` segment and the
+workers receive a small handle (segment name, geometry, generation)
+instead of the bytes.
+
+Three cooperating pieces:
+
+* :class:`PlaneStore` -- the parent-side registry.  :meth:`register`
+  maps a live frame to a segment, reusing it while the content is
+  unchanged and bumping the *generation* (a fresh segment) when the
+  frame was mutated between waves.  Segments are released when the
+  frame is garbage-collected, superseded, or the store closes.
+* the worker-resident cache -- :func:`worker_attach` keeps an LRU of
+  attached segments keyed by ``(store token, frame id)``, so the N
+  calls of a wave that touch the same frame map it once; a generation
+  bump invalidates the cached entry.
+* :func:`ship_result` -- the worker-to-parent return path: a result
+  frame is written into a fresh segment whose handle the parent adopts
+  (:meth:`PlaneStore.adopt_result`) as a zero-copy frame, unlinked when
+  that frame dies.
+
+Everything degrades to pickle transport: when the platform has no
+``multiprocessing.shared_memory`` (:data:`SHARED_MEMORY_AVAILABLE` is
+False) or a segment operation fails at runtime, the store flips
+``broken`` and the scheduler falls back to shipping whole frames.
+"""
+
+from __future__ import annotations
+
+import uuid
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..image.formats import ImageFormat
+from ..image.frame import Frame, PLANE_DTYPES
+from ..image.pixel import ALL_CHANNELS, Channel
+
+try:
+    from multiprocessing import shared_memory as _shm
+    SHARED_MEMORY_AVAILABLE = True
+except ImportError:  # pragma: no cover - py3.8-/platform gaps
+    _shm = None  # type: ignore[assignment]
+    SHARED_MEMORY_AVAILABLE = False
+
+try:
+    import _posixshmem  # the stdlib's own POSIX shm backing
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _posixshmem = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Segment payload layout
+# ---------------------------------------------------------------------------
+
+def _plane_layout(fmt: ImageFormat
+                  ) -> List[Tuple[Channel, int, np.dtype]]:
+    """``(channel, byte offset, dtype)`` of each plane in a segment."""
+    layout = []
+    offset = 0
+    for channel in ALL_CHANNELS:
+        dtype = np.dtype(PLANE_DTYPES[channel])
+        layout.append((channel, offset, dtype))
+        offset += fmt.pixels * dtype.itemsize
+    return layout
+
+
+def frame_payload_bytes(fmt: ImageFormat) -> int:
+    """Bytes one frame occupies in a segment (7 bytes per pixel: three
+    8-bit colour planes plus two 16-bit meta planes)."""
+    return fmt.pixels * sum(np.dtype(PLANE_DTYPES[c]).itemsize
+                            for c in ALL_CHANNELS)
+
+
+def write_frame(buf, frame: Frame) -> None:
+    """Copy every plane of ``frame`` into ``buf`` at the layout offsets."""
+    fmt = frame.format
+    for channel, offset, dtype in _plane_layout(fmt):
+        view = np.frombuffer(buf, dtype=dtype, count=fmt.pixels,
+                             offset=offset).reshape(fmt.height, fmt.width)
+        view[:] = frame.plane(channel)
+
+
+def read_frame(fmt: ImageFormat, buf, writeable: bool = False) -> Frame:
+    """Wrap ``buf`` as a frame of zero-copy plane views.
+
+    Input frames attach read-only (workers never mutate their inputs);
+    adopted results attach writeable so callers can keep using them as
+    ordinary frames.
+    """
+    planes = {}
+    for channel, offset, dtype in _plane_layout(fmt):
+        view = np.frombuffer(buf, dtype=dtype, count=fmt.pixels,
+                             offset=offset).reshape(fmt.height, fmt.width)
+        if not writeable:
+            view.flags.writeable = False
+        planes[channel] = view
+    return Frame.from_plane_views(fmt, planes)
+
+
+# ---------------------------------------------------------------------------
+# Segment lifecycle helpers
+# ---------------------------------------------------------------------------
+
+def _untrack(segment) -> None:
+    """Withdraw ``segment`` from the multiprocessing resource tracker.
+
+    Before 3.13 *every* ``SharedMemory`` -- attached as well as created
+    (bpo-38119) -- registers itself, so a process' tracker would unlink
+    segments it does not own at exit and warn about "leaked" ones it
+    never leaked.  This module does its own refcounted cleanup instead,
+    so each construction is withdrawn immediately (and unlinking goes
+    through :func:`_unlink_segment`, which never touches the tracker).
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _new_segment(nbytes: int):
+    """Create an untracked segment of ``nbytes``."""
+    try:
+        return _shm.SharedMemory(create=True, size=nbytes, track=False)
+    except TypeError:  # track= appeared in 3.13
+        segment = _shm.SharedMemory(create=True, size=nbytes)
+        _untrack(segment)
+        return segment
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment, untracked."""
+    try:
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:
+        segment = _shm.SharedMemory(name=name)
+        _untrack(segment)
+        return segment
+
+
+def _unlink_segment(segment) -> None:
+    """Remove the segment's name, bypassing the tracker.
+
+    ``SharedMemory.unlink()`` also *unregisters* with the resource
+    tracker (before 3.13 unconditionally) -- but this module withdrew
+    the registration at construction, so that unregister would be
+    unmatched and the tracker process logs a ``KeyError``.  Unlink the
+    POSIX name directly instead.
+    """
+    name = getattr(segment, "_name", None)
+    if not name:
+        return
+    if _posixshmem is not None:
+        _posixshmem.shm_unlink(name)
+    else:  # pragma: no cover - non-POSIX: unlink is a no-op anyway
+        segment.unlink()
+
+
+def _disarm(segment) -> None:
+    """Hand the mapping's lifetime to the numpy views derived from it.
+
+    Once plane views exist, ``SharedMemory.close()`` (including the one
+    its ``__del__`` retries) would raise ``BufferError`` for as long as
+    any view is alive.  Detaching the wrapper instead lets the last
+    view drop the mmap, which then closes itself silently -- refcounted
+    unmapping, no destructor noise.  ``unlink`` keeps working: it only
+    needs the name.
+    """
+    try:
+        segment._buf = None
+        segment._mmap = None
+    except AttributeError:  # pragma: no cover - unexpected layout
+        pass
+
+
+def _release_segment(segment, unlink: bool = True) -> None:
+    """Close (and by default unlink) a segment, tolerating exported
+    numpy views: a mapping that is still pinned is handed to its views
+    (see :func:`_disarm`), while the unlink removes the name at once."""
+    try:
+        segment.close()
+    except BufferError:
+        _disarm(segment)
+    except Exception:
+        pass
+    if unlink:
+        try:
+            _unlink_segment(segment)
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Handles (what actually crosses the process boundary)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrameHandle:
+    """A registered input frame: ~100 bytes instead of the planes.
+
+    ``token`` names the owning :class:`PlaneStore` (so entries a forked
+    worker inherited from a *different* store can never collide) and
+    ``generation`` counts content rewrites of the same frame object --
+    a worker holding generation N drops its mapping when N+1 arrives.
+    """
+
+    token: str
+    frame_id: int
+    generation: int
+    segment_name: str
+    format_name: str
+    width: int
+    height: int
+
+    @property
+    def fmt(self) -> ImageFormat:
+        return ImageFormat(self.format_name, self.width, self.height)
+
+
+@dataclass(frozen=True)
+class ResultHandle:
+    """A worker-produced result frame awaiting adoption by the parent."""
+
+    segment_name: str
+    format_name: str
+    width: int
+    height: int
+
+    @property
+    def fmt(self) -> ImageFormat:
+        return ImageFormat(self.format_name, self.width, self.height)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side store
+# ---------------------------------------------------------------------------
+
+class _StoreEntry:
+    __slots__ = ("frame_ref", "segment", "handle", "views")
+
+    def __init__(self, frame_ref, segment, handle, views) -> None:
+        self.frame_ref = frame_ref
+        self.segment = segment
+        self.handle = handle
+        #: Parent-side read views of the segment, used to detect
+        #: content mutation between waves.
+        self.views = views
+
+
+class PlaneStore:
+    """Parent-side registry mapping live frames to shared segments.
+
+    Frames are keyed by object identity; a weakref callback drops the
+    segment as soon as the frame is collected, so an input that falls
+    out of use never pins its bytes.  Any segment failure flips
+    ``broken`` and the store answers ``None`` from then on -- the
+    caller's signal to fall back to pickle transport.
+    """
+
+    def __init__(self) -> None:
+        #: Distinguishes this store's handles from any other store's
+        #: (including a parent store a forked worker inherited).
+        self.token = uuid.uuid4().hex[:12]
+        self.broken = not SHARED_MEMORY_AVAILABLE
+        self.closed = False
+        self.segments_created = 0
+        self.generation_bumps = 0
+        self.bytes_registered = 0
+        self.results_adopted = 0
+        self._entries: Dict[int, _StoreEntry] = {}
+        self._next_frame_id = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, frame: Frame) -> Optional[FrameHandle]:
+        """The handle for ``frame``, writing its planes at most once.
+
+        Re-registering an unchanged frame returns the existing handle;
+        a mutated frame gets a new segment under a bumped generation.
+        ``None`` means shared memory is unavailable or broke: ship the
+        frame by pickle instead.
+        """
+        if self.broken or self.closed:
+            return None
+        key = id(frame)
+        entry = self._entries.get(key)
+        if entry is not None and entry.frame_ref() is frame:
+            if self._content_matches(entry, frame):
+                return entry.handle
+            return self._rewrite(key, entry, frame)
+        if entry is not None:
+            # id() reuse after a missed weakref callback: start over.
+            self._drop(key)
+        return self._create(key, frame)
+
+    @staticmethod
+    def _content_matches(entry: _StoreEntry, frame: Frame) -> bool:
+        return all(np.array_equal(frame.plane(channel),
+                                  entry.views[channel])
+                   for channel in ALL_CHANNELS)
+
+    def _views(self, segment, fmt: ImageFormat):
+        views = {}
+        for channel, offset, dtype in _plane_layout(fmt):
+            view = np.frombuffer(segment.buf, dtype=dtype,
+                                 count=fmt.pixels, offset=offset)
+            views[channel] = view.reshape(fmt.height, fmt.width)
+        return views
+
+    def _write_segment(self, frame: Frame):
+        """A fresh segment holding ``frame``'s planes, or ``None``."""
+        nbytes = frame_payload_bytes(frame.format)
+        try:
+            segment = _new_segment(nbytes)
+            write_frame(segment.buf, frame)
+        except Exception:
+            self.broken = True
+            return None
+        self.segments_created += 1
+        self.bytes_registered += nbytes
+        return segment
+
+    def _create(self, key: int, frame: Frame) -> Optional[FrameHandle]:
+        segment = self._write_segment(frame)
+        if segment is None:
+            return None
+        fmt = frame.format
+        frame_id = self._next_frame_id
+        self._next_frame_id += 1
+        handle = FrameHandle(self.token, frame_id, 0, segment.name,
+                             fmt.name, fmt.width, fmt.height)
+        views = self._views(segment, fmt)
+        _disarm(segment)
+        self._entries[key] = _StoreEntry(
+            weakref.ref(frame, lambda _ref, key=key: self._drop(key)),
+            segment, handle, views)
+        return handle
+
+    def _rewrite(self, key: int, entry: _StoreEntry,
+                 frame: Frame) -> Optional[FrameHandle]:
+        """Generation bump: the frame was mutated since registration."""
+        segment = self._write_segment(frame)
+        if segment is None:
+            self._drop(key)
+            return None
+        fmt = frame.format
+        old = entry.handle
+        entry.views = {}
+        _release_segment(entry.segment)
+        entry.segment = segment
+        entry.handle = FrameHandle(self.token, old.frame_id,
+                                   old.generation + 1, segment.name,
+                                   fmt.name, fmt.width, fmt.height)
+        entry.views = self._views(segment, fmt)
+        _disarm(segment)
+        self.generation_bumps += 1
+        return entry.handle
+
+    def _drop(self, key: int) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None or self.closed:
+            return
+        entry.views = {}
+        _release_segment(entry.segment)
+
+    # -- result adoption ---------------------------------------------------
+
+    def adopt_result(self, handle: ResultHandle) -> Optional[Frame]:
+        """Wrap a worker-shipped result as a zero-copy frame.
+
+        The segment is unlinked when the adopted frame is collected, so
+        results have ordinary frame lifetimes.  ``None`` (attach
+        failure) tells the caller to recompute the call inline.
+        """
+        try:
+            segment = _attach_segment(handle.segment_name)
+        except Exception:
+            self.broken = True
+            return None
+        frame = read_frame(handle.fmt, segment.buf, writeable=True)
+        _disarm(segment)
+        weakref.finalize(frame, _release_segment, segment)
+        self.results_adopted += 1
+        return frame
+
+    # -- books and lifecycle -----------------------------------------------
+
+    @property
+    def segments_active(self) -> int:
+        return len(self._entries)
+
+    def active_segment_names(self) -> List[str]:
+        return [entry.handle.segment_name
+                for entry in self._entries.values()]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "segments_created": self.segments_created,
+            "segments_active": self.segments_active,
+            "generation_bumps": self.generation_bumps,
+            "bytes_registered": self.bytes_registered,
+            "results_adopted": self.results_adopted,
+            "broken": self.broken,
+        }
+
+    def close(self) -> None:
+        """Release every live segment (idempotent, safe at exit)."""
+        if self.closed:
+            return
+        self.closed = True
+        entries, self._entries = self._entries, {}
+        for entry in entries.values():
+            entry.views = {}
+            _release_segment(entry.segment)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side cache
+# ---------------------------------------------------------------------------
+
+#: Attached input frames, keyed by ``(store token, frame id)``.  The
+#: frames' plane views own their mappings (:func:`_disarm`), so evicting
+#: an entry is just dropping it -- the mmap unmaps with the last view.
+_WORKER_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, Frame]]" \
+    = OrderedDict()
+_WORKER_CACHE_CAP = 128
+
+
+def reset_worker_cache() -> None:
+    """Pool-worker initializer: forget entries inherited over fork().
+
+    Inherited mappings belong to the parent's address-space snapshot;
+    they are dropped without closing (the arrays pinning them were
+    forked too, and shared pages cost nothing until written).
+    """
+    _WORKER_CACHE.clear()
+
+
+def worker_attach(handle: FrameHandle) -> Tuple[Frame, bool]:
+    """The worker-resident frame for ``handle``; ``(frame, cache hit)``.
+
+    Same token/frame id/generation: the cached frame (the segment is
+    mapped exactly once per worker however many calls touch it).  A
+    bumped generation drops the stale mapping and attaches the new
+    segment.
+    """
+    key = (handle.token, handle.frame_id)
+    cached = _WORKER_CACHE.get(key)
+    if cached is not None:
+        generation, frame = cached
+        if generation == handle.generation:
+            _WORKER_CACHE.move_to_end(key)
+            return frame, True
+        del _WORKER_CACHE[key]
+    segment = _attach_segment(handle.segment_name)
+    frame = read_frame(handle.fmt, segment.buf, writeable=False)
+    _disarm(segment)
+    _WORKER_CACHE[key] = (handle.generation, frame)
+    while len(_WORKER_CACHE) > _WORKER_CACHE_CAP:
+        _WORKER_CACHE.popitem(last=False)
+    return frame, False
+
+
+def worker_cache_size() -> int:
+    return len(_WORKER_CACHE)
+
+
+def ship_result(frame: Frame) -> Optional[ResultHandle]:
+    """Write a result frame into a fresh segment for the parent.
+
+    The worker closes its mapping immediately (the name keeps the
+    segment alive until the parent adopts and eventually unlinks it).
+    ``None`` means shared memory failed here: return the frame by
+    pickle instead.
+    """
+    if not SHARED_MEMORY_AVAILABLE:
+        return None
+    fmt = frame.format
+    try:
+        segment = _new_segment(frame_payload_bytes(fmt))
+        write_frame(segment.buf, frame)
+    except Exception:
+        return None
+    handle = ResultHandle(segment.name, fmt.name, fmt.width, fmt.height)
+    try:
+        segment.close()
+    except Exception:
+        pass
+    return handle

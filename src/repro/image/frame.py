@@ -12,20 +12,24 @@ the paper's scan terminology; the backing numpy arrays are indexed
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Mapping, Tuple
 
 import numpy as np
 
 from .formats import STRIP_LINES, ImageFormat
 from .pixel import ALL_CHANNELS, Channel, Pixel
 
-_DTYPES = {
+#: The numpy dtype of each channel plane (8-bit colour, 16-bit Alfa/Aux).
+PLANE_DTYPES = {
     Channel.Y: np.uint8,
     Channel.U: np.uint8,
     Channel.V: np.uint8,
     Channel.ALFA: np.uint16,
     Channel.AUX: np.uint16,
 }
+
+#: Backwards-compatible private alias.
+_DTYPES = PLANE_DTYPES
 
 
 class Frame:
@@ -112,6 +116,36 @@ class Frame:
         upper = (self.alfa.astype(np.uint32)
                  | (self.aux.astype(np.uint32) << 16))
         return lower, upper
+
+    @classmethod
+    def from_plane_views(cls, fmt: ImageFormat,
+                         planes: Mapping[Channel, np.ndarray]) -> "Frame":
+        """Wrap existing arrays as a frame without copying.
+
+        The arrays become the frame's planes directly -- the caller is
+        responsible for keeping their backing buffers alive (this is the
+        zero-copy attach path of the shared-memory transport).  Each
+        plane must already have the format's shape and the channel's
+        canonical dtype.
+        """
+        frame = cls.__new__(cls)
+        frame.format = fmt
+        expected = (fmt.height, fmt.width)
+        views = {}
+        for channel in ALL_CHANNELS:
+            plane = planes[channel]
+            if plane.shape != expected:
+                raise ValueError(
+                    f"{channel.name} plane must be {expected}, "
+                    f"got {plane.shape}")
+            if plane.dtype != PLANE_DTYPES[channel]:
+                raise ValueError(
+                    f"{channel.name} plane must be "
+                    f"{np.dtype(PLANE_DTYPES[channel]).name}, "
+                    f"got {plane.dtype}")
+            views[channel] = plane
+        frame._planes = views
+        return frame
 
     @classmethod
     def from_words(cls, fmt: ImageFormat, lower: np.ndarray,

@@ -21,7 +21,7 @@ derived from -- and checked by tests against -- the cycle-level model in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..core.config import EngineConfig
 from ..core.constraints import PLC_TICKS_PER_CYCLE
@@ -43,6 +43,59 @@ def list_scheduled_makespan(costs: Sequence[float], engines: int) -> float:
         slot = loads.index(min(loads))
         loads[slot] += cost
     return max(loads)
+
+
+@dataclass(frozen=True)
+class TransportCostModel:
+    """Cost of moving one call across the parent<->worker boundary.
+
+    The scheduler's analogue of the PCI-transfer arithmetic above: the
+    engine model prices moving a frame to the board, this model prices
+    moving it to a pool worker.  It drives the inline-bypass decision
+    -- a call whose modeled compute saving is below its shipping cost
+    stays in the parent.
+
+    Defaults are deliberately conservative; the scheduler replaces
+    ``round_trip_s`` with a measured value (two no-op submissions, the
+    second timed) once its pool is warm.  The one-off cost of writing a
+    frame's planes into a segment at registration is not modeled: it is
+    paid once per frame, not per call.
+    """
+
+    #: Fixed cost of one grouped submission: queue hop, worker wakeup,
+    #: result delivery.  Amortised over the calls sharing the trip.
+    round_trip_s: float = 3e-4
+    #: Per shared-memory handle: pickle of the tiny handle plus the
+    #: (amortised) worker-side attach.
+    handle_s: float = 2e-5
+    #: Throughput of pickling numpy payloads through the executor's
+    #: pipes -- the fallback transport's per-byte cost.
+    pickle_bytes_per_s: float = 400e6
+    #: Seconds per modeled software instruction when estimating inline
+    #: (parent-side) execution from a ``SoftwareCostModel`` profile.
+    #: Calibrated against the vector executor's measured throughput on
+    #: CIF intra calls, not against the paper's scalar CPUs.
+    instruction_s: float = 0.5e-9
+
+    def ship_seconds(self, payload_bytes: int, handles: int,
+                     zero_copy: bool, amortized_calls: int = 1,
+                     round_trip_s: Optional[float] = None) -> float:
+        """Modeled cost of shipping one call to a worker and back.
+
+        ``amortized_calls`` is how many calls share the round trip
+        (grouped dispatch sends one submission per worker per wave);
+        ``payload_bytes`` only counts under pickle transport
+        (``zero_copy`` false).
+        """
+        fixed = self.round_trip_s if round_trip_s is None else round_trip_s
+        cost = fixed / max(1, amortized_calls) + handles * self.handle_s
+        if not zero_copy:
+            cost += payload_bytes / self.pickle_bytes_per_s
+        return cost
+
+    def inline_seconds(self, instructions: float) -> float:
+        """Estimated parent-side execution time of one call."""
+        return instructions * self.instruction_s
 
 
 @dataclass(frozen=True)
@@ -157,7 +210,7 @@ class EngineTimingModel:
                 + self.host_overhead_seconds_raw(strips, images_in,
                                                  resident_images))
 
-    # -- cycle components -------------------------------------------------------
+    # -- cycle components -----------------------------------------------------
 
     def input_words(self, config: EngineConfig) -> int:
         """Input DMA payload: two words per pixel per image."""
@@ -184,7 +237,7 @@ class EngineTimingModel:
             config.fmt.pixels, config.fmt.strips, config.images_in,
             config.produces_image, config.requires_full_frames)
 
-    # -- seconds ---------------------------------------------------------------
+    # -- seconds --------------------------------------------------------------
 
     def board_seconds(self, config: EngineConfig) -> float:
         """Board-side time of one call (what the cycle model measures)."""
@@ -300,7 +353,7 @@ class EngineTimingModel:
                 + self.host_overhead_seconds_raw(strips, images_in,
                                                  resident_images))
 
-    # -- section 4.1 claims -------------------------------------------------------
+    # -- section 4.1 claims ---------------------------------------------------
 
     def input_transfer_cycles(self, config: EngineConfig) -> int:
         """Cycles spent shipping the input images to the board."""

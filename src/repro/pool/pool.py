@@ -96,6 +96,21 @@ class PoolReport:
             return None
         return hits / total
 
+    @property
+    def transport(self) -> Dict[str, int]:
+        """Scheduler transport call counters summed across every board
+        (boards without a scheduler contribute nothing)."""
+        keys = ("round_trips", "pool_calls", "inline_calls",
+                "bypass_calls", "shm_calls", "pickle_calls",
+                "worker_cache_hits", "worker_cache_attaches")
+        total = {key: 0 for key in keys}
+        for worker in self.workers:
+            for key in keys:
+                value = worker.transport.get(key)
+                if isinstance(value, int):
+                    total[key] += value
+        return total
+
     def to_dict(self) -> Dict[str, object]:
         """Schema-conforming books (see ``perf.report``)."""
         return base_report_dict(
@@ -110,6 +125,7 @@ class PoolReport:
             failovers=self.failovers,
             calls_requeued=self.calls_requeued,
             residency_hit_rate=self.residency_hit_rate,
+            transport=self.transport,
             workers=[w.to_dict(self.clock_hz) for w in self.workers],
         )
 

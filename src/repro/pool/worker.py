@@ -46,6 +46,9 @@ class WorkerReport:
     #: Calls this worker abandoned mid-wave to a surviving worker.
     calls_requeued: int = 0
     failed: bool = False
+    #: Scheduler transport books (empty for workers with no scheduler):
+    #: shm/pickle/bypass call counts, round trips, and plane-store state.
+    transport: Dict[str, object] = field(default_factory=dict)
 
     @property
     def residency_hit_rate(self) -> Optional[float]:
@@ -74,6 +77,7 @@ class WorkerReport:
             calls_submitted=self.calls_submitted,
             calls_requeued=self.calls_requeued,
             failed=self.failed,
+            transport=self.transport,
         )
 
 
@@ -185,6 +189,8 @@ class EngineWorker:
             calls_shed=(driver.calls_shed if driver else 0),
             calls_requeued=self.calls_requeued,
             failed=self.failed,
+            transport=(self.scheduler.transport_stats()
+                       if self.scheduler is not None else {}),
         )
 
     def close(self) -> None:

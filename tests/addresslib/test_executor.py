@@ -9,11 +9,14 @@ access counts that become Table 2.
 import numpy as np
 import pytest
 
-from repro.addresslib import (CON_8, ChannelSet, CountedExecutor,
+from repro.addresslib import (COLUMN_9, CON_0, CON_4, CON_8, CON_24,
+                              ChannelSet, CountedExecutor,
                               INTER_ABSDIFF, INTER_ADD, INTRA_COPY,
-                              INTRA_ERODE, INTRA_GRAD, ScanOrder,
-                              SoftwareCostModel, VectorExecutor,
-                              neighbourhood_stack, serpentine_positions)
+                              INTRA_ERODE, INTRA_GRAD, INTRA_OPS,
+                              ScanOrder, SoftwareCostModel, VectorExecutor,
+                              neighbourhood_stack,
+                              neighbourhood_stack_shifted,
+                              serpentine_positions)
 from repro.image import (Channel, Frame, ImageFormat, PlanarFrame420,
                          noise_frame)
 
@@ -64,6 +67,40 @@ class TestNeighbourhoodStack:
         stack = neighbourhood_stack(frame.y, CON_8)
         left = CON_8.offsets.index((-1, 0))
         assert np.array_equal(stack[left][:, 0], frame.y[:, 0])
+
+
+class TestWindowedVsShiftedStack:
+    """The sliding-window fast path against the shifted-plane reference.
+
+    The windowed implementation (one edge pad + strided views) must be
+    bit-identical to the per-offset clamped-shift reference for every
+    named neighbourhood over the corpus geometries -- it replaced the
+    reference on the executor's hot path, so any divergence is a
+    correctness bug, not a tolerance.
+    """
+
+    GEOMETRIES = [(4, 8), (5, 33), (12, 8), (24, 48), (176, 144)]
+    NEIGHBOURHOODS = [CON_0, CON_4, CON_8, CON_24, COLUMN_9]
+
+    @pytest.mark.parametrize("width,height", GEOMETRIES)
+    @pytest.mark.parametrize("nb", NEIGHBOURHOODS,
+                             ids=lambda nb: nb.name)
+    def test_bit_identical_stacks(self, width, height, nb):
+        fmt = ImageFormat(f"W{width}x{height}", width, height)
+        plane = noise_frame(fmt, seed=width * 1000 + height).y
+        fast = neighbourhood_stack(plane, nb)
+        reference = neighbourhood_stack_shifted(plane, nb)
+        assert fast.shape == reference.shape
+        assert np.array_equal(fast, reference)
+
+    def test_intra_ops_unchanged_by_fast_path(self):
+        frame = noise_frame(ImageFormat("W24x33", 24, 33), seed=77)
+        for op in sorted(INTRA_OPS.values(), key=lambda op: op.name):
+            via_fast = VectorExecutor.intra(op, frame)
+            expected = frame.copy()
+            stack = neighbourhood_stack_shifted(frame.y, op.neighbourhood)
+            expected.y[:] = op.apply_vector(stack)
+            assert via_fast.equals(expected)
 
 
 class TestVectorVsCountedResults:

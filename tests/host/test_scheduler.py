@@ -277,3 +277,63 @@ class TestInlineFallback:
             VectorExecutor.intra(INTRA_MEDIAN3, frame))
         assert sched.total.pool_calls == 0
         assert sched.total.inline_calls == 3
+
+
+class TestTransportPlanning:
+    def _calls(self, frame):
+        return [BatchCall.intra(INTRA_BOX3, frame),
+                BatchCall.intra(INTRA_GRAD, frame),
+                BatchCall.intra(INTRA_MEDIAN3, frame)]
+
+    def test_report_carries_phase_breakdown(self):
+        frame = noise_frame(QCIF, seed=40)
+        with CallScheduler(max_workers=2, bypass="always") as sched:
+            lib = AddressLib(SoftwareBackend())
+            lib.run_batch(self._calls(frame), scheduler=sched)
+            report = sched.last_report
+        assert report.ship_seconds >= 0.0
+        assert report.compute_seconds > 0.0
+        assert report.gather_seconds >= 0.0
+        books = report.to_dict()
+        for key in ("ship_seconds", "compute_seconds", "gather_seconds",
+                    "bypass_calls", "shm_calls", "pickle_calls",
+                    "round_trips"):
+            assert key in books
+
+    def test_single_cpu_host_bypasses_without_spawning(self, monkeypatch):
+        monkeypatch.setattr("repro.host.scheduler.os.cpu_count",
+                            lambda: 1)
+        frame = noise_frame(QCIF, seed=41)
+        with CallScheduler(max_workers=4) as sched:
+            lib = AddressLib(SoftwareBackend())
+            results = lib.run_batch(self._calls(frame), scheduler=sched)
+            # Every call stayed inline and no worker process ever spawned.
+            assert sched.total.bypass_calls == 3
+            assert sched.total.pool_calls == 0
+            assert sched.total.round_trips == 0
+        assert results[0].equals(VectorExecutor.intra(INTRA_BOX3, frame))
+
+    def test_bypass_always_never_uses_the_pool(self):
+        frame = noise_frame(QCIF, seed=42)
+        with CallScheduler(max_workers=2, bypass="always") as sched:
+            lib = AddressLib(SoftwareBackend())
+            results = lib.run_batch(self._calls(frame), scheduler=sched)
+            assert sched.total.bypass_calls == 3
+            assert sched.total.pool_calls == 0
+        assert results[2].equals(
+            VectorExecutor.intra(INTRA_MEDIAN3, frame))
+
+    def test_transport_stats_shape(self):
+        with CallScheduler(max_workers=2) as sched:
+            stats = sched.transport_stats()
+        for key in ("transport", "bypass", "round_trip_s", "round_trips",
+                    "pool_calls", "inline_calls", "bypass_calls",
+                    "shm_calls", "pickle_calls", "worker_cache_hits",
+                    "worker_cache_attaches", "store"):
+            assert key in stats
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError):
+            CallScheduler(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            CallScheduler(bypass="sometimes")
