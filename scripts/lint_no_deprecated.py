@@ -1,0 +1,103 @@
+"""Fail if first-party code uses the deprecated pre-pool signatures.
+
+PR 5 moved every piece of serving metadata into
+:class:`repro.api.SubmitOptions`; the old keyword/positional spellings
+still *work* (they warn with ``DeprecationWarning`` for third-party
+callers) but first-party code must not regrow them.  This script walks
+``src/`` and ``benchmarks/`` with :mod:`ast` and flags:
+
+* R1 -- ``<obj>.run_batch(calls, <more positionals>)``: the legacy
+  positional metadata signature (the modern call passes ``options=``).
+* R2 -- ``<obj>.submit(...)`` / ``<obj>.run_batch(...)`` with any of
+  the deprecated keywords ``priority=``, ``deadline_seconds=``,
+  ``max_retries=``, ``arrival_seconds=``.
+* R3 -- ``<obj>.submit(...)`` with more than three positional
+  arguments (the widest modern form is the driver's
+  ``submit(config, frame, options)``).
+
+Run from the repo root (CI does)::
+
+    python scripts/lint_no_deprecated.py
+"""
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "benchmarks")
+DEPRECATED_KEYWORDS = frozenset(
+    {"priority", "deadline_seconds", "max_retries", "arrival_seconds"})
+
+Violation = Tuple[Path, int, str, str]
+
+
+def _python_files() -> Iterator[Path]:
+    for name in SCAN_DIRS:
+        base = ROOT / name
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def _check_call(node: ast.Call, path: Path,
+                violations: List[Violation]) -> None:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    method = func.attr
+    if method not in ("submit", "run_batch"):
+        return
+    positionals = len(node.args)
+    if method == "run_batch" and positionals >= 2:
+        violations.append(
+            (path, node.lineno, "R1",
+             f"run_batch called with {positionals} positional "
+             f"arguments; pass options=SubmitOptions(...)"))
+    bad_kw = sorted(kw.arg for kw in node.keywords
+                    if kw.arg in DEPRECATED_KEYWORDS)
+    if bad_kw:
+        violations.append(
+            (path, node.lineno, "R2",
+             f"{method} called with deprecated keyword(s) "
+             f"{', '.join(bad_kw)}; fold them into "
+             f"options=SubmitOptions(...)"))
+    if method == "submit" and positionals > 3:
+        violations.append(
+            (path, node.lineno, "R3",
+             f"submit called with {positionals} positional arguments; "
+             f"the widest modern form is submit(config, frame, "
+             f"options)"))
+
+
+def main() -> int:
+    violations: List[Violation] = []
+    checked = 0
+    for path in _python_files():
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except SyntaxError as exc:
+            violations.append((path, exc.lineno or 0, "R0",
+                               f"file does not parse: {exc.msg}"))
+            continue
+        checked += 1
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                _check_call(node, path, violations)
+    for path, lineno, rule, message in violations:
+        rel = path.relative_to(ROOT)
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if violations:
+        print(f"lint_no_deprecated: {len(violations)} violation(s) in "
+              f"{checked} file(s)")
+        return 1
+    print(f"lint_no_deprecated: OK ({checked} files, no deprecated "
+          f"submission signatures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

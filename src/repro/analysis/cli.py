@@ -23,7 +23,8 @@ from ..addresslib.program import CallProgram, ProgramStep, trace_program
 from ..core.config import EngineConfig, intra_config
 from ..image.formats import CIF, QCIF, ImageFormat
 from ..image.frame import Frame
-from .analyzer import analyze_program
+from .analyzer import analyze_program, analyze_waves
+from .dataflow import TransportParams
 from .diagnostics import AnalysisReport, Severity
 from .params import EngineParams
 from .rules import RULES
@@ -182,6 +183,70 @@ SELFTEST_CASES: Dict[str, Tuple[
 
 
 # ---------------------------------------------------------------------------
+# Seeded-broken wave plans: one per transport/residency/pool rule
+# ---------------------------------------------------------------------------
+
+def _intra_step(index: int, source: str, output: str) -> ProgramStep:
+    return ProgramStep(index=index, mode=AddressingMode.INTRA,
+                       op=INTRA_GRAD, fmt=QCIF, channels=ChannelSet.Y,
+                       inputs=(source,), output=output)
+
+
+def _rewrite_program() -> CallProgram:
+    """A chain that redefines ``buf`` mid-program: ``in0 -> buf -> out``
+    then ``in0 -> buf -> out2``.  The generation bump on ``buf`` is what
+    the SHM/RES generation rules key on."""
+    steps = (_intra_step(0, "in0", "buf"),
+             _intra_step(1, "buf", "out"),
+             _intra_step(2, "in0", "buf"),
+             _intra_step(3, "buf", "out2"))
+    return CallProgram(name="rewrite_chain", fmt=QCIF, inputs=("in0",),
+                       steps=steps, results=("out", "out2"))
+
+
+def _reuse_program() -> CallProgram:
+    """Two independent producers then a consumer that re-reads ``in0``:
+    the reuse distance spans a wave, so a one-slot cache must thrash."""
+    steps = (_intra_step(0, "in0", "a"),
+             _intra_step(1, "in1", "b"),
+             ProgramStep(index=2, mode=AddressingMode.INTER,
+                         op=INTER_ABSDIFF, fmt=QCIF,
+                         channels=ChannelSet.Y, inputs=("in0", "a"),
+                         output="c"))
+    return CallProgram(name="reuse_chain", fmt=QCIF,
+                       inputs=("in0", "in1"), steps=steps,
+                       results=("a", "b", "c"))
+
+
+def _wave_serial_chain() -> CallProgram:
+    program, _ = _serial_chain()
+    return program
+
+
+#: rule id -> (program builder, deployment that must trip it).
+WAVE_SELFTEST_CASES: Dict[str, Tuple[
+        Callable[[], CallProgram], TransportParams]] = {
+    "SHM001": (_rewrite_program,
+               TransportParams(boards=2, fail_wave=1, requeue="merge")),
+    "SHM002": (_wave_serial_chain,
+               TransportParams(close_after_wave=0)),
+    "SHM003": (_wave_serial_chain,
+               TransportParams(boards=2, fail_wave=1,
+                               fail_phase="after_compute",
+                               requeue="replay")),
+    "RES001": (_rewrite_program,
+               TransportParams(boards=2, placement="round_robin",
+                               generation_checks=False)),
+    "RES002": (_reuse_program,
+               TransportParams(cache_capacity=1)),
+    "POOL001": (_rewrite_program,
+                TransportParams(boards=2, fail_wave=0, requeue="merge")),
+    "POOL002": (_wave_serial_chain,
+                TransportParams(boards=2, placement="round_robin")),
+}
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -207,10 +272,51 @@ def _run_selftest(verbose: bool) -> int:
                     print(f"  {diagnostic.format()}")
         else:
             failures += 1
+    for rule_id, (wave_builder, transport) in WAVE_SELFTEST_CASES.items():
+        program = wave_builder()
+        report = analyze_waves(program, transport)
+        hits = report.by_rule(rule_id)
+        status = "flagged" if hits else "MISSED"
+        print(f"selftest [waves] {program.name}: {status} {rule_id}")
+        if hits:
+            if verbose:
+                for diagnostic in hits:
+                    print(f"  {diagnostic.format()}")
+        else:
+            failures += 1
     if failures:
         print(f"selftest: {failures} rule class(es) no longer detected")
         return 1
     print("selftest: all rule classes detected")
+    return 0
+
+
+def _run_sanitize_selftest(verbose: bool) -> int:
+    """Seed each transport bug against the *live* stack and require the
+    runtime sanitizer to observe it -- the dynamic twin of
+    :func:`_run_selftest`."""
+    from .sanitize import SANITIZE_SELFTESTS
+    failures = 0
+    for description, (scenario, rule_id) in SANITIZE_SELFTESTS.items():
+        findings = scenario()
+        if findings is None:
+            print(f"sanitize-selftest [{rule_id}] {description}: "
+                  f"skipped (shared memory unavailable)")
+            continue
+        hits = [d for d in findings if d.rule_id == rule_id]
+        status = "caught" if hits else "MISSED"
+        print(f"sanitize-selftest [{rule_id}] {description}: {status}")
+        if hits:
+            if verbose:
+                for diagnostic in hits:
+                    print(f"  {diagnostic.format()}")
+        else:
+            failures += 1
+    if failures:
+        print(f"sanitize-selftest: {failures} rule(s) no longer "
+              f"observed at runtime")
+        return 1
+    print("sanitize-selftest: all seeded bugs observed")
     return 0
 
 
@@ -248,6 +354,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--selftest", action="store_true",
                         help="seed a broken variant of each rule class "
                              "and require the analyzer to flag it")
+    parser.add_argument("--sanitize-selftest", action="store_true",
+                        help="seed each transport bug against the live "
+                             "shared-memory stack and require the "
+                             "runtime sanitizer to observe it")
+    parser.add_argument("--waves", action="store_true",
+                        help="analyze the scheduled wave plan (SHM/RES/"
+                             "POOL families) instead of the program "
+                             "structure")
+    parser.add_argument("--boards", type=int, default=1, metavar="N",
+                        help="pool size for --waves (default 1)")
+    parser.add_argument("--placement", default="affinity",
+                        choices=("affinity", "least_loaded",
+                                 "round_robin"),
+                        help="placement policy for --waves")
+    parser.add_argument("--cache-capacity", type=int, default=128,
+                        metavar="N",
+                        help="per-board worker-cache capacity for "
+                             "--waves (default 128)")
+    parser.add_argument("--fail-wave", type=int, default=None,
+                        metavar="W",
+                        help="kill the serving board at wave W "
+                             "(--waves; requires --boards >= 2)")
+    parser.add_argument("--fail-after-compute", action="store_true",
+                        help="with --fail-wave, let the board finish "
+                             "computing before it dies (results orphan)")
+    parser.add_argument("--requeue", default="replay",
+                        choices=("replay", "merge"),
+                        help="failover requeue policy for --waves")
+    parser.add_argument("--close-after-wave", type=int, default=None,
+                        metavar="W",
+                        help="close the plane store after wave W "
+                             "(--waves)")
+    parser.add_argument("--no-generation-checks", action="store_true",
+                        help="key the modeled worker cache on bare "
+                             "frame ids, ignoring generations (--waves)")
     parser.add_argument("--deadline-cycles", type=int, default=None,
                         metavar="N",
                         help="flag programs whose modeled critical-path "
@@ -271,12 +412,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.selftest:
         return _run_selftest(args.verbose)
+    if args.sanitize_selftest:
+        return _run_sanitize_selftest(args.verbose)
 
     names = args.programs or sorted(EXAMPLE_PROGRAMS)
     unknown = [n for n in names if n not in EXAMPLE_PROGRAMS]
     if unknown:
         parser.error(f"unknown program(s): {', '.join(unknown)}; known: "
                      f"{', '.join(sorted(EXAMPLE_PROGRAMS))}")
+
+    if args.waves:
+        try:
+            transport = TransportParams(
+                boards=args.boards, placement=args.placement,
+                cache_capacity=args.cache_capacity,
+                fail_wave=args.fail_wave,
+                fail_phase=("after_compute" if args.fail_after_compute
+                            else "before_compute"),
+                requeue=args.requeue,
+                close_after_wave=args.close_after_wave,
+                generation_checks=not args.no_generation_checks)
+        except ValueError as exc:
+            parser.error(str(exc))
+        exit_code = 0
+        for name in names:
+            report = analyze_waves(EXAMPLE_PROGRAMS[name](), transport)
+            _print_report(report, args.verbose)
+            if report.errors or (args.strict and report.warnings):
+                exit_code = 1
+        return exit_code
 
     hints = _parse_placement_hints(args.placement_hints, parser)
     params = (EngineParams(deadline_cycles=args.deadline_cycles,

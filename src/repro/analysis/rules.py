@@ -88,6 +88,25 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
     Rule("SVC002", Severity.WARNING, "service",
          "placement hints split a producer/consumer pair across "
          "boards, defeating residency affinity"),
+    Rule("SHM001", Severity.ERROR, "transport",
+         "source plane mutated while its shipped handle is still in "
+         "flight within the wave"),
+    Rule("SHM002", Severity.ERROR, "transport",
+         "result segment adopted after the plane store closed"),
+    Rule("SHM003", Severity.ERROR, "transport",
+         "segment lifecycle imbalance: released without a live "
+         "registration, or orphaned by a worker death"),
+    Rule("RES001", Severity.ERROR, "residency",
+         "worker cache serves a frame at a stale generation"),
+    Rule("RES002", Severity.WARNING, "residency",
+         "residency eviction horizon shorter than a wave's reuse "
+         "distance: evicted frame re-shipped unchanged"),
+    Rule("POOL001", Severity.ERROR, "pool",
+         "requeue-on-failover interleaves RAW-dependent calls into "
+         "one wave"),
+    Rule("POOL002", Severity.WARNING, "pool",
+         "actual placement splits a producer/consumer pair across "
+         "boards, forcing a cross-board reship"),
 )}
 
 #: Fallback reason code -> the FPA rule that reports it.

@@ -33,7 +33,7 @@ Typical serving setup::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple, Union
 
 from .addresslib.library import (AddressLib, BatchCall, CallLog,
                                  SoftwareBackend)
@@ -74,6 +74,13 @@ class SubmitOptions:
     #: Where the request sits on the modeled clock (open-loop traces);
     #: ``None`` means "now".  Never moves the clock backwards.
     arrival_seconds: Optional[float] = None
+    #: Transport-sanitizer domains to arm while this work runs
+    #: (``"transport"``, ``"residency"``, ``"pool"``, or ``"all"``);
+    #: ``None`` leaves the sanitizer as configured (the
+    #: ``REPRO_SANITIZE`` env var still applies).  Diagnostics land on
+    #: the serving scheduler's ``sanitizer_findings``; results are
+    #: never changed.
+    sanitize: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -84,6 +91,24 @@ class SubmitOptions:
             raise ValueError(
                 f"deadline_seconds must be >= 0, got "
                 f"{self.deadline_seconds}")
+        if self.sanitize is not None:
+            domains = _normalize_sanitize(self.sanitize)
+            object.__setattr__(self, "sanitize", domains)
+
+
+def _normalize_sanitize(
+        sanitize: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    """Validate and canonicalise a sanitizer-domain spec.
+
+    Accepts a single domain name or a sequence of them; defers to
+    :func:`repro.analysis.sanitize.normalize_domains` (lazy import, so
+    building options never touches host transport) for the actual
+    vocabulary -- unknown domains raise :class:`ValueError`.
+    """
+    from .analysis.sanitize import normalize_domains
+    if isinstance(sanitize, str):
+        sanitize = (sanitize,)
+    return normalize_domains(sanitize)
 
 
 __all__ = [

@@ -26,6 +26,7 @@ from ..core.config import EngineConfig
 from ..core.engine import AddressEngine, EngineRunResult
 from ..image.frame import Frame
 from ..perf.timing import EngineTimingModel
+from . import shm
 
 if TYPE_CHECKING:
     from ..api import SubmitOptions
@@ -98,18 +99,25 @@ class FrameResidencyCache:
         flags: List[bool] = []
         copy_cycles = 0
         same_layout = self._layout_kind == config.images_in
+        observer = shm.get_transport_observer()
         for slot, frame in enumerate(frames):
             if (same_layout and slot < len(self._inputs)
                     and self._inputs[slot] is frame):
                 flags.append(True)
                 self.hits += 1
+                if observer is not None:
+                    observer.cache_attach("driver", id(frame), 0, 0)
             elif self._result is frame:
                 copy_cycles += -(-config.fmt.pixels // 2)
                 flags.append(True)
                 self.result_reuses += 1
+                if observer is not None:
+                    observer.cache_attach("driver", id(frame), 0, 0)
             else:
                 flags.append(False)
                 self.misses += 1
+                if observer is not None:
+                    observer.cache_attach("driver", id(frame), 0, None)
         return flags, copy_cycles
 
     def record_call(self, config: EngineConfig, frames: List[Frame],
@@ -158,6 +166,8 @@ class FrameResidencyCache:
             self._inputs = tuple(None if f is frame else f
                                  for f in self._inputs)
         self.evictions += dropped
+        if dropped:
+            self._notify_evicted(frame)
 
     def _expire_stale(self) -> None:
         """Evict state older than ``max_age`` generations."""
@@ -165,7 +175,20 @@ class FrameResidencyCache:
                 or self._generation - self._recorded_at < self.max_age):
             return
         self.evictions += self.held_frames
+        for cached in (*self._inputs, self._result):
+            if cached is not None:
+                self._notify_evicted(cached)
         self.invalidate()
+
+    @staticmethod
+    def _notify_evicted(frame: Frame) -> None:
+        # The driver's banks carry no generation counter: the cache
+        # compares frames by identity, so the sanitizer's residency
+        # books key these events at a fixed generation 0 -- enough for
+        # the RES002 evict-then-reship check, inert for RES001.
+        observer = shm.get_transport_observer()
+        if observer is not None:
+            observer.cache_evicted("driver", id(frame), 0)
 
 
 @dataclass(frozen=True)

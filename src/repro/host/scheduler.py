@@ -54,7 +54,11 @@ import time
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Set,
+                    Tuple, Union)
+
+if TYPE_CHECKING:
+    from ..analysis.diagnostics import Diagnostic
 
 from ..addresslib.addressing import AddressingMode
 from ..addresslib.executor import SoftwareCostModel, VectorExecutor
@@ -109,18 +113,45 @@ def _noop() -> bool:
     return True
 
 
-def _execute_wave(jobs: Sequence[_Job], ship_results_shm: bool
-                  ) -> Tuple[List[Tuple[str, object]], Dict[str, int]]:
+#: Per-wave worker options: (ship results via shm, sanitize domains).
+#: Bundled into one tuple so a wave submission stays one function and
+#: two positional arguments however the options grow.
+_WaveOptions = Tuple[bool, Tuple[str, ...]]
+
+
+def _worker_init(sanitize_domains: Tuple[str, ...] = ()) -> None:
+    """Pool-worker initializer: fork hygiene plus optional sanitizing.
+
+    Drops worker-cache entries and any transport observer inherited
+    over ``fork()`` (both belong to the parent process), then installs
+    a fresh worker-side sanitizer when the scheduler runs sanitized --
+    its findings ship back with each wave's stats.
+    """
+    shm.reset_worker_cache()
+    shm.set_transport_observer(None)
+    if sanitize_domains:
+        try:
+            from ..analysis import sanitize as _sanitize
+            _sanitize.reset_for_worker()
+            _sanitize.install_sanitizer(sanitize_domains)
+        except Exception:  # pragma: no cover - sanitizing is advisory
+            pass
+
+
+def _execute_wave(jobs: Sequence[_Job], wave_options: _WaveOptions
+                  ) -> Tuple[List[Tuple[str, object]], Dict[str, object]]:
     """Worker-side execution of one worker's share of a wave.
 
     Runs in an engine worker process.  Input frames arrive as
     shared-memory handles (attached through the worker-resident cache)
     or as pickled frames; result frames leave as shared-memory handles
     when possible, falling back to pickling them.  Returns the per-call
-    results in job order plus the cache counters of this trip.
+    results in job order plus the cache counters (and, when sanitized,
+    the worker's drained findings) of this trip.
     """
+    ship_results_shm, sanitize_domains = wave_options
     results: List[Tuple[str, object]] = []
-    stats = {"cache_hits": 0, "attaches": 0}
+    stats: Dict[str, object] = {"cache_hits": 0, "attaches": 0}
     for mode_value, op_name, reduce_to_scalar, channels, specs in jobs:
         frames: List[Frame] = []
         for spec_kind, payload in specs:
@@ -142,6 +173,14 @@ def _execute_wave(jobs: Sequence[_Job], ship_results_shm: bool
                 results.append(("shm", handle))
                 continue
         results.append((kind, value))
+    if sanitize_domains:
+        try:
+            from ..analysis import sanitize as _sanitize
+            sanitizer = _sanitize.active_sanitizer()
+            if sanitizer is not None:
+                stats["findings"] = sanitizer.drain()
+        except Exception:  # pragma: no cover - sanitizing is advisory
+            pass
     return results, stats
 
 
@@ -278,7 +317,8 @@ class CallScheduler(BatchExecutor):
                  timing: Optional[EngineTimingModel] = None,
                  special_inter_ops: Sequence[str] = (), *,
                  transport: str = "auto", bypass: str = "auto",
-                 transport_model: Optional[TransportCostModel] = None
+                 transport_model: Optional[TransportCostModel] = None,
+                 sanitize: Optional[Sequence[str]] = None
                  ) -> None:
         if transport not in ("auto", "shm", "pickle"):
             raise ValueError(f"unknown transport {transport!r}")
@@ -287,6 +327,21 @@ class CallScheduler(BatchExecutor):
         if transport == "shm" and not shm.SHARED_MEMORY_AVAILABLE:
             raise ValueError("transport='shm' requires "
                              "multiprocessing.shared_memory")
+        if sanitize is None:
+            env = os.environ.get("REPRO_SANITIZE", "")
+            sanitize = [part.strip() for part in env.split(",")
+                        if part.strip()]
+        self.sanitize_domains: Tuple[str, ...] = ()
+        if sanitize:
+            # Lazy: an unsanitized scheduler never imports the
+            # sanitizer (or anything under repro.analysis).
+            from ..analysis.sanitize import (ensure_sanitizer,
+                                             normalize_domains)
+            self.sanitize_domains = normalize_domains(sanitize)
+            ensure_sanitizer(self.sanitize_domains)
+        #: Runtime findings: the parent sanitizer's drained diagnostics
+        #: plus every worker's, in collection order.
+        self.sanitizer_findings: List["Diagnostic"] = []
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self.timing = timing or EngineTimingModel()
         #: Inter ops priced with ``requires_full_frames`` (the modelled
@@ -338,7 +393,8 @@ class CallScheduler(BatchExecutor):
                 # over fork(): they belong to the parent's store.
                 self._resources.pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
-                    initializer=shm.reset_worker_cache)
+                    initializer=_worker_init,
+                    initargs=(self.sanitize_domains,))
             except Exception:
                 self._pool_broken = True
                 return None
@@ -516,6 +572,9 @@ class CallScheduler(BatchExecutor):
         report = BatchReport(calls=len(calls), waves=1,
                              workers=self.max_workers)
 
+        observer = shm.get_transport_observer()
+        if observer is not None:
+            observer.wave_opened()
         tokens = [self._op_token(call) for call in calls]
         pool = self._ensure_pool() if len(calls) > 1 else None
         shipped, bypassed = self._plan(calls, tokens, pool, report)
@@ -581,6 +640,13 @@ class CallScheduler(BatchExecutor):
         report.modeled_serial_seconds = serial
         report.modeled_pipelined_seconds = pipelined
         self._account(report)
+        if observer is not None:
+            observer.wave_closed()
+        if self.sanitize_domains:
+            from ..analysis import sanitize as _sanitize
+            sanitizer = _sanitize.active_sanitizer()
+            if sanitizer is not None:
+                self.sanitizer_findings.extend(sanitizer.drain())
         assert all(outcome is not None for outcome in outcomes)
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -624,6 +690,7 @@ class CallScheduler(BatchExecutor):
               ) -> List[Tuple[List[int], List[str], Optional[Future]]]:
         """Register input frames and submit one job group per worker."""
         store = self._ensure_store()
+        observer = shm.get_transport_observer()
         groups = []
         for indices in self._group_by_worker(shipped, calls):
             jobs: List[_Job] = []
@@ -635,6 +702,8 @@ class CallScheduler(BatchExecutor):
                     handle = (store.register(frame)
                               if store is not None else None)
                     if handle is not None:
+                        if observer is not None:
+                            observer.handle_shipped(handle)
                         specs.append(("shm", handle))
                     else:
                         specs.append(("pickle", frame))
@@ -647,10 +716,12 @@ class CallScheduler(BatchExecutor):
                              call.reduce_to_scalar, call.channels,
                              tuple(specs)))
             ship_results = store is not None and not store.broken
+            wave_options: _WaveOptions = (ship_results,
+                                          self.sanitize_domains)
             future: Optional[Future] = None
             try:
                 assert pool is not None
-                future = pool.submit(_execute_wave, jobs, ship_results)
+                future = pool.submit(_execute_wave, jobs, wave_options)
                 report.round_trips += 1
             except Exception:
                 self._pool_broken = True
@@ -694,8 +765,15 @@ class CallScheduler(BatchExecutor):
             # recompute inline, flag the pool, keep the batch whole.
             self._pool_broken = True
             return None
-        report.worker_cache_hits += stats.get("cache_hits", 0)
-        report.worker_cache_attaches += stats.get("attaches", 0)
+        hits = stats.get("cache_hits", 0)
+        attaches = stats.get("attaches", 0)
+        report.worker_cache_hits += hits if isinstance(hits, int) else 0
+        report.worker_cache_attaches += (attaches
+                                         if isinstance(attaches, int)
+                                         else 0)
+        findings = stats.get("findings")
+        if isinstance(findings, list):
+            self.sanitizer_findings.extend(findings)
         return items
 
     def _account(self, report: BatchReport) -> None:

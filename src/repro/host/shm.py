@@ -41,7 +41,8 @@ import uuid
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import (Any, Dict, List, Optional, Protocol, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -85,7 +86,7 @@ def frame_payload_bytes(fmt: ImageFormat) -> int:
                             for c in ALL_CHANNELS)
 
 
-def write_frame(buf, frame: Frame) -> None:
+def write_frame(buf: Any, frame: Frame) -> None:
     """Copy every plane of ``frame`` into ``buf`` at the layout offsets."""
     fmt = frame.format
     for channel, offset, dtype in _plane_layout(fmt):
@@ -94,14 +95,15 @@ def write_frame(buf, frame: Frame) -> None:
         view[:] = frame.plane(channel)
 
 
-def read_frame(fmt: ImageFormat, buf, writeable: bool = False) -> Frame:
+def read_frame(fmt: ImageFormat, buf: Any,
+               writeable: bool = False) -> Frame:
     """Wrap ``buf`` as a frame of zero-copy plane views.
 
     Input frames attach read-only (workers never mutate their inputs);
     adopted results attach writeable so callers can keep using them as
     ordinary frames.
     """
-    planes = {}
+    planes: Dict[Channel, np.ndarray] = {}
     for channel, offset, dtype in _plane_layout(fmt):
         view = np.frombuffer(buf, dtype=dtype, count=fmt.pixels,
                              offset=offset).reshape(fmt.height, fmt.width)
@@ -115,7 +117,7 @@ def read_frame(fmt: ImageFormat, buf, writeable: bool = False) -> Frame:
 # Segment lifecycle helpers
 # ---------------------------------------------------------------------------
 
-def _untrack(segment) -> None:
+def _untrack(segment: Any) -> None:
     """Withdraw ``segment`` from the multiprocessing resource tracker.
 
     Before 3.13 *every* ``SharedMemory`` -- attached as well as created
@@ -132,7 +134,7 @@ def _untrack(segment) -> None:
         pass
 
 
-def _new_segment(nbytes: int):
+def _new_segment(nbytes: int) -> Any:
     """Create an untracked segment of ``nbytes``."""
     try:
         return _shm.SharedMemory(create=True, size=nbytes, track=False)
@@ -142,7 +144,7 @@ def _new_segment(nbytes: int):
         return segment
 
 
-def _attach_segment(name: str):
+def _attach_segment(name: str) -> Any:
     """Attach to an existing segment, untracked."""
     try:
         return _shm.SharedMemory(name=name, track=False)
@@ -152,7 +154,7 @@ def _attach_segment(name: str):
         return segment
 
 
-def _unlink_segment(segment) -> None:
+def _unlink_segment(segment: Any) -> None:
     """Remove the segment's name, bypassing the tracker.
 
     ``SharedMemory.unlink()`` also *unregisters* with the resource
@@ -170,7 +172,7 @@ def _unlink_segment(segment) -> None:
         segment.unlink()
 
 
-def _disarm(segment) -> None:
+def _disarm(segment: Any) -> None:
     """Hand the mapping's lifetime to the numpy views derived from it.
 
     Once plane views exist, ``SharedMemory.close()`` (including the one
@@ -187,10 +189,20 @@ def _disarm(segment) -> None:
         pass
 
 
-def _release_segment(segment, unlink: bool = True) -> None:
+def _release_segment(segment: Any, unlink: bool = True) -> None:
     """Close (and by default unlink) a segment, tolerating exported
     numpy views: a mapping that is still pinned is handed to its views
     (see :func:`_disarm`), while the unlink removes the name at once."""
+    observer = _OBSERVER
+    if observer is not None:
+        # The public .name (no leading slash), matching what
+        # segment_created/result_adopted observed.
+        try:
+            name = str(getattr(segment, "name", "") or "")
+        except Exception:
+            name = ""
+        if name:
+            observer.segment_released(name)
     try:
         segment.close()
     except BufferError:
@@ -246,13 +258,83 @@ class ResultHandle:
 
 
 # ---------------------------------------------------------------------------
+# Transport observation (the runtime sanitizer's attachment point)
+# ---------------------------------------------------------------------------
+
+class TransportObserver(Protocol):
+    """What a transport sanitizer sees of the live stack.
+
+    Every method is a fire-and-forget notification from a hook site in
+    this module, the scheduler, or the pool; implementations must be
+    cheap and must never raise (:mod:`repro.analysis.sanitize` is the
+    one implementation).  The hooks are dormant -- a module-global
+    ``None`` check -- unless an observer is installed, so production
+    runs pay one attribute load per event.
+    """
+
+    # scheduler-side wave framing
+    def wave_opened(self) -> None: ...
+
+    def wave_closed(self) -> None: ...
+
+    def handle_shipped(self, handle: FrameHandle) -> None: ...
+
+    # store-side segment/handle lifecycle
+    def frame_registered(self, token: str, frame_id: int,
+                         generation: int) -> None: ...
+
+    def segment_created(self, name: str) -> None: ...
+
+    def segment_released(self, name: str) -> None: ...
+
+    def result_adopted(self, name: str, store_closed: bool) -> None: ...
+
+    # worker-cache residency
+    def cache_attach(self, token: str, frame_id: int, generation: int,
+                     cached_generation: Optional[int]) -> None: ...
+
+    def cache_evicted(self, token: str, frame_id: int,
+                      generation: int) -> None: ...
+
+    # pool-side placement and failover
+    def pool_wave(self, worker_id: int, calls: Sequence[Any],
+                  results: Sequence[Any]) -> None: ...
+
+    def pool_requeued(self, original: Sequence[Any],
+                      requeued: Sequence[Any]) -> None: ...
+
+
+_OBSERVER: Optional[TransportObserver] = None
+
+
+def set_transport_observer(observer: Optional[TransportObserver]
+                           ) -> Optional[TransportObserver]:
+    """Install (or, with ``None``, remove) the process-wide observer.
+
+    Returns the previous observer so callers can restore it.  One
+    observer per process: the sanitizer composes domains internally
+    rather than chaining observers here.
+    """
+    global _OBSERVER
+    previous = _OBSERVER
+    _OBSERVER = observer
+    return previous
+
+
+def get_transport_observer() -> Optional[TransportObserver]:
+    return _OBSERVER
+
+
+# ---------------------------------------------------------------------------
 # Parent-side store
 # ---------------------------------------------------------------------------
 
 class _StoreEntry:
     __slots__ = ("frame_ref", "segment", "handle", "views")
 
-    def __init__(self, frame_ref, segment, handle, views) -> None:
+    def __init__(self, frame_ref: "weakref.ref[Frame]", segment: Any,
+                 handle: FrameHandle,
+                 views: Dict[Channel, np.ndarray]) -> None:
         self.frame_ref = frame_ref
         self.segment = segment
         self.handle = handle
@@ -300,12 +382,21 @@ class PlaneStore:
         entry = self._entries.get(key)
         if entry is not None and entry.frame_ref() is frame:
             if self._content_matches(entry, frame):
-                return entry.handle
-            return self._rewrite(key, entry, frame)
+                return self._registered(entry.handle)
+            return self._registered(self._rewrite(key, entry, frame))
         if entry is not None:
             # id() reuse after a missed weakref callback: start over.
             self._drop(key)
-        return self._create(key, frame)
+        return self._registered(self._create(key, frame))
+
+    @staticmethod
+    def _registered(handle: Optional[FrameHandle]
+                    ) -> Optional[FrameHandle]:
+        observer = _OBSERVER
+        if observer is not None and handle is not None:
+            observer.frame_registered(handle.token, handle.frame_id,
+                                      handle.generation)
+        return handle
 
     @staticmethod
     def _content_matches(entry: _StoreEntry, frame: Frame) -> bool:
@@ -313,15 +404,16 @@ class PlaneStore:
                                   entry.views[channel])
                    for channel in ALL_CHANNELS)
 
-    def _views(self, segment, fmt: ImageFormat):
-        views = {}
+    def _views(self, segment: Any,
+               fmt: ImageFormat) -> Dict[Channel, np.ndarray]:
+        views: Dict[Channel, np.ndarray] = {}
         for channel, offset, dtype in _plane_layout(fmt):
             view = np.frombuffer(segment.buf, dtype=dtype,
                                  count=fmt.pixels, offset=offset)
             views[channel] = view.reshape(fmt.height, fmt.width)
         return views
 
-    def _write_segment(self, frame: Frame):
+    def _write_segment(self, frame: Frame) -> Any:
         """A fresh segment holding ``frame``'s planes, or ``None``."""
         nbytes = frame_payload_bytes(frame.format)
         try:
@@ -332,6 +424,9 @@ class PlaneStore:
             return None
         self.segments_created += 1
         self.bytes_registered += nbytes
+        observer = _OBSERVER
+        if observer is not None:
+            observer.segment_created(segment.name)
         return segment
 
     def _create(self, key: int, frame: Frame) -> Optional[FrameHandle]:
@@ -386,6 +481,9 @@ class PlaneStore:
         results have ordinary frame lifetimes.  ``None`` (attach
         failure) tells the caller to recompute the call inline.
         """
+        observer = _OBSERVER
+        if observer is not None:
+            observer.result_adopted(handle.segment_name, self.closed)
         try:
             segment = _attach_segment(handle.segment_name)
         except Exception:
@@ -437,7 +535,35 @@ class PlaneStore:
 #: an entry is just dropping it -- the mmap unmaps with the last view.
 _WORKER_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, Frame]]" \
     = OrderedDict()
-_WORKER_CACHE_CAP = 128
+_WORKER_CACHE_CAP: int = 128
+
+
+def worker_cache_capacity() -> int:
+    return _WORKER_CACHE_CAP
+
+
+def set_worker_cache_capacity(capacity: int) -> int:
+    """Resize the worker cache; returns the previous capacity.
+
+    Shrinking evicts LRU entries immediately (with observer
+    notifications, so the sanitizer's eviction horizon stays exact).
+    """
+    global _WORKER_CACHE_CAP
+    if capacity < 1:
+        raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+    previous = _WORKER_CACHE_CAP
+    _WORKER_CACHE_CAP = capacity
+    _trim_worker_cache()
+    return previous
+
+
+def _trim_worker_cache() -> None:
+    observer = _OBSERVER
+    while len(_WORKER_CACHE) > _WORKER_CACHE_CAP:
+        (token, frame_id), (generation, _frame) = \
+            _WORKER_CACHE.popitem(last=False)
+        if observer is not None:
+            observer.cache_evicted(token, frame_id, generation)
 
 
 def reset_worker_cache() -> None:
@@ -460,6 +586,14 @@ def worker_attach(handle: FrameHandle) -> Tuple[Frame, bool]:
     """
     key = (handle.token, handle.frame_id)
     cached = _WORKER_CACHE.get(key)
+    observer = _OBSERVER
+    if observer is not None:
+        # Notified before the attach is attempted: a stale-generation
+        # read must be observable even if the old segment is gone and
+        # the attach below raises.
+        observer.cache_attach(handle.token, handle.frame_id,
+                              handle.generation,
+                              cached[0] if cached is not None else None)
     if cached is not None:
         generation, frame = cached
         if generation == handle.generation:
@@ -470,8 +604,7 @@ def worker_attach(handle: FrameHandle) -> Tuple[Frame, bool]:
     frame = read_frame(handle.fmt, segment.buf, writeable=False)
     _disarm(segment)
     _WORKER_CACHE[key] = (handle.generation, frame)
-    while len(_WORKER_CACHE) > _WORKER_CACHE_CAP:
-        _WORKER_CACHE.popitem(last=False)
+    _trim_worker_cache()
     return frame, False
 
 
@@ -496,6 +629,9 @@ def ship_result(frame: Frame) -> Optional[ResultHandle]:
     except Exception:
         return None
     handle = ResultHandle(segment.name, fmt.name, fmt.width, fmt.height)
+    observer = _OBSERVER
+    if observer is not None:
+        observer.segment_created(segment.name)
     try:
         segment.close()
     except Exception:

@@ -24,10 +24,12 @@ invisible in the outputs).  A pool with no surviving board re-raises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, FrozenSet, List, Optional, Sequence, Tuple,
+                    Union)
 
 from ..addresslib.library import AddressLib, BatchCall
 from ..core.errors import EngineDeadlock
+from ..host import shm
 from ..host.backend import EngineBackend
 from ..host.driver import AddressEngineDriver
 from ..host.scheduler import CallScheduler
@@ -224,9 +226,9 @@ class EnginePool:
         return sum(w.modeled_engines for w in self.alive())
 
     @property
-    def special_inter_ops(self):
+    def special_inter_ops(self) -> FrozenSet[str]:
         """Union across boards (pools are normally homogeneous)."""
-        ops = frozenset()
+        ops: FrozenSet[str] = frozenset()
         for worker in self.workers:
             ops = ops | worker.special_inter_ops
         return ops
@@ -276,7 +278,15 @@ class EnginePool:
                 hint = None
                 if not self.alive():
                     raise
+                requeued = self._requeue(calls)
+                observer = shm.get_transport_observer()
+                if observer is not None:
+                    observer.pool_requeued(calls, requeued)
+                calls = requeued
                 continue
+            observer = shm.get_transport_observer()
+            if observer is not None:
+                observer.pool_wave(worker.worker_id, calls, results)
             start = max(worker.busy_until, not_before)
             end = start + worker.wave_cost_seconds(calls)
             worker.book_wave(calls, start, end)
@@ -285,6 +295,17 @@ class EnginePool:
                 results=tuple(results), worker_id=worker.worker_id,
                 start_seconds=start, end_seconds=end,
                 failovers=failovers)
+
+    def _requeue(self, calls: Sequence[BatchCall]) -> List[BatchCall]:
+        """The calls a failed-out wave re-runs with.
+
+        The contract is *verbatim replay*: the same calls, same order,
+        re-placed whole on a survivor.  This seam exists so the
+        sanitizer selftests can model a buggy override (reordering or
+        merging on requeue -- the POOL001 hazard) against the real
+        dispatch loop; production code must not override it.
+        """
+        return list(calls)
 
     def account_shed(self, calls: int = 1) -> None:
         """Book shed calls against the pool and one board's driver.
@@ -323,5 +344,5 @@ class EnginePool:
     def __enter__(self) -> "EnginePool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -241,6 +241,12 @@ class EngineService:
         options = self._coerce_options(
             options, legacy_args, priority, deadline_seconds,
             max_retries, arrival_seconds)
+        if options.sanitize:
+            # Arm (or widen) the process-wide transport sanitizer for
+            # the requested domains; findings surface through whichever
+            # scheduler serves the pool.  Never alters results.
+            from ..analysis.sanitize import ensure_sanitizer
+            ensure_sanitizer(options.sanitize)
         if options.arrival_seconds is not None:
             self.clock = max(self.clock, options.arrival_seconds)
         arrival = self.clock

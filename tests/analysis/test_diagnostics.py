@@ -38,7 +38,8 @@ class TestCatalogue:
             assert rule.rule_id == rule_id
             assert rule.layer in ("configuration", "capacity", "hazard",
                                   "liveness", "fast-path", "scheduling",
-                                  "service")
+                                  "service", "transport", "residency",
+                                  "pool")
             assert rule.title
 
     def test_diagnostic_format_line(self):

@@ -1,0 +1,48 @@
+"""docs/ANALYSIS.md's rule tables cannot drift from the catalogue.
+
+The doc's markdown tables are the human-facing mirror of
+``repro-check --list-rules`` (both derive from
+``repro.analysis.rules.RULES``).  This test parses every table row of
+the doc and holds the rule-id set *exactly* equal to the catalogue --
+a rule added without documentation, or a stale documented id, fails
+here rather than rotting silently.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.cli import main as repro_check_main
+from repro.analysis.rules import RULES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "ANALYSIS.md"
+
+#: ``| CAP001 | error | ... |`` -> the id cell of a rule-table row.
+_ROW = re.compile(r"^\|\s*([A-Z]{3,4}\d{3})\s*\|\s*(\w+)\s*\|",
+                  re.MULTILINE)
+
+
+def _documented_rules():
+    return {match.group(1): match.group(2)
+            for match in _ROW.finditer(DOC.read_text(encoding="utf-8"))}
+
+
+def test_doc_rule_ids_match_catalogue_exactly():
+    documented = _documented_rules()
+    assert set(documented) == set(RULES), (
+        f"docs/ANALYSIS.md drifted: missing "
+        f"{sorted(set(RULES) - set(documented))}, stale "
+        f"{sorted(set(documented) - set(RULES))}")
+
+
+def test_doc_severities_match_catalogue():
+    for rule_id, severity in _documented_rules().items():
+        assert severity == RULES[rule_id].severity.name.lower(), (
+            f"{rule_id} documented as {severity!r} but the catalogue "
+            f"says {RULES[rule_id].severity.name.lower()!r}")
+
+
+def test_doc_matches_list_rules_output(capsys):
+    assert repro_check_main(["--list-rules"]) == 0
+    listed = {line.split()[0]
+              for line in capsys.readouterr().out.splitlines() if line}
+    assert listed == set(_documented_rules())

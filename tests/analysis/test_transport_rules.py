@@ -1,0 +1,114 @@
+"""The wave-plan verifier: SHM/RES/POOL families over the dataflow IR.
+
+Each rule gets three postures: the seeded-broken deployment from
+``repro-check --selftest`` must fire it, the *nearest legal*
+deployment (one knob away) must stay silent on it, and the example
+programs must stay completely clean under healthy affinity
+deployments at every pool size.  Mirrors the per-rule golden-output
+contract ``tests/analysis/test_diagnostics.py`` holds for the
+program-structure families.
+"""
+
+import pytest
+
+from repro.analysis import (Severity, TransportParams, analyze_waves,
+                            lower_program)
+from repro.analysis.cli import (EXAMPLE_PROGRAMS, WAVE_SELFTEST_CASES,
+                                _reuse_program, _rewrite_program,
+                                _wave_serial_chain)
+from repro.addresslib import dependency_levels
+
+
+def _rule_ids(program, transport):
+    report = analyze_waves(program, transport)
+    return {d.rule_id for d in report.diagnostics}
+
+
+class TestSeededDeployments:
+    """Every SHM/RES/POOL rule fires under its seeded deployment."""
+
+    @pytest.mark.parametrize("rule_id", sorted(WAVE_SELFTEST_CASES))
+    def test_rule_fires(self, rule_id):
+        builder, transport = WAVE_SELFTEST_CASES[rule_id]
+        report = analyze_waves(builder(), transport)
+        hits = report.by_rule(rule_id)
+        assert hits, f"{rule_id} no longer detected"
+        for diagnostic in hits:
+            assert diagnostic.severity is not Severity.INFO
+
+    def test_covers_all_transport_families(self):
+        families = {rule_id[:3] for rule_id in WAVE_SELFTEST_CASES}
+        assert families == {"SHM", "RES", "POO"}
+        assert len(WAVE_SELFTEST_CASES) >= 6
+
+
+#: rule -> (program builder, the nearest *legal* deployment).
+NEAREST_LEGAL = {
+    "SHM001": (_rewrite_program,
+               TransportParams(boards=2, fail_wave=1, requeue="replay")),
+    "SHM002": (_wave_serial_chain, TransportParams()),
+    "SHM003": (_wave_serial_chain,
+               TransportParams(boards=2, fail_wave=1,
+                               fail_phase="before_compute",
+                               requeue="replay")),
+    "RES001": (_rewrite_program,
+               TransportParams(boards=2, placement="round_robin")),
+    "RES002": (_reuse_program, TransportParams(cache_capacity=2)),
+    "POOL001": (_rewrite_program,
+                TransportParams(boards=2, fail_wave=0,
+                                requeue="replay")),
+    "POOL002": (_wave_serial_chain, TransportParams(boards=2)),
+}
+
+
+class TestNearestLegal:
+    """One knob back toward health silences the rule."""
+
+    @pytest.mark.parametrize("rule_id", sorted(NEAREST_LEGAL))
+    def test_rule_silent(self, rule_id):
+        builder, transport = NEAREST_LEGAL[rule_id]
+        assert rule_id not in _rule_ids(builder(), transport)
+
+    def test_nearest_legal_mirrors_selftest_cases(self):
+        assert set(NEAREST_LEGAL) == set(WAVE_SELFTEST_CASES)
+
+
+class TestHealthyDeploymentsClean:
+    """Examples produce zero wave findings under affinity placement."""
+
+    @pytest.mark.parametrize("boards", [1, 2, 3, 4])
+    @pytest.mark.parametrize("name", sorted(EXAMPLE_PROGRAMS))
+    def test_example_clean(self, name, boards):
+        program = EXAMPLE_PROGRAMS[name]()
+        report = analyze_waves(program, TransportParams(boards=boards))
+        assert not report.diagnostics, report.format()
+
+    def test_default_params_are_healthy(self):
+        # analyze_waves with no transport means the single-board
+        # defaults -- the posture CI's --waves gate runs.
+        for name in EXAMPLE_PROGRAMS:
+            report = analyze_waves(EXAMPLE_PROGRAMS[name]())
+            assert report.ok and not report.warnings
+
+
+class TestLowering:
+    def test_waves_match_dependency_levels(self):
+        program = _rewrite_program()
+        plan = lower_program(program, TransportParams(boards=2))
+        assert [list(wave) for wave in plan.waves] \
+            == dependency_levels(program)
+
+    def test_analyze_waves_accepts_prelowered_plan(self):
+        builder, transport = WAVE_SELFTEST_CASES["SHM002"]
+        program = builder()
+        plan = lower_program(program, transport)
+        report = analyze_waves(program, plan=plan)
+        assert report.by_rule("SHM002")
+
+    def test_fail_wave_requires_survivor(self):
+        with pytest.raises(ValueError):
+            TransportParams(fail_wave=0)
+
+    def test_report_name_marks_wave_pass(self):
+        report = analyze_waves(_wave_serial_chain())
+        assert report.program_name.endswith("[waves]")

@@ -1,0 +1,156 @@
+"""Transport books vs the shared report schema.
+
+``CallScheduler.transport_stats()`` and the
+``WorkerReport``/``PoolReport`` transport entries are the figures the
+BENCH emitters and ``repro.summary`` read; this suite pins their key
+sets and the ``base_report_dict`` schema contract -- including the
+degenerate books nobody exercises by hand: a scheduler that never
+completed a call, and one that only ever bypassed inline.
+"""
+
+import pytest
+
+from repro.addresslib import BatchCall, INTRA_GRAD
+from repro.host import CallScheduler
+from repro.image import ImageFormat, noise_frame
+from repro.perf import REPORT_SCHEMA_KEYS, base_report_dict
+from repro.pool import EnginePool, PoolReport
+from repro.pool.worker import WorkerReport
+
+QCIF = ImageFormat("QCIF", 176, 144)
+
+#: The counter keys ``PoolReport.transport`` aggregates; every one must
+#: exist (as an int) in ``CallScheduler.transport_stats()`` or the pool
+#: books silently sum zeros.
+TRANSPORT_COUNTER_KEYS = (
+    "round_trips", "pool_calls", "inline_calls", "bypass_calls",
+    "shm_calls", "pickle_calls", "worker_cache_hits",
+    "worker_cache_attaches")
+
+
+def _assert_schema(payload):
+    for key in REPORT_SCHEMA_KEYS:
+        assert key in payload, f"missing shared schema key {key!r}"
+    assert isinstance(payload["calls"], int)
+    assert isinstance(payload["cycles"], float)
+    assert isinstance(payload["cache"], dict)
+    assert isinstance(payload["shed"], int)
+
+
+class TestSchedulerTransportStats:
+    def test_zero_completion_books(self):
+        with CallScheduler(max_workers=2) as scheduler:
+            stats = scheduler.transport_stats()
+        for key in TRANSPORT_COUNTER_KEYS:
+            assert stats[key] == 0
+        assert stats["store"] == {}
+        assert stats["transport"] == "auto"
+        assert stats["bypass"] == "auto"
+        assert stats["round_trip_s"] is None
+
+    def test_bypass_only_books(self):
+        calls = [BatchCall.intra(INTRA_GRAD, noise_frame(QCIF, seed=i))
+                 for i in range(3)]
+        with CallScheduler(max_workers=2,
+                           bypass="always") as scheduler:
+            scheduler.compute_batch(calls)
+            stats = scheduler.transport_stats()
+        assert stats["bypass_calls"] == len(calls)
+        assert stats["pool_calls"] == 0
+        assert stats["shm_calls"] == 0
+        assert stats["pickle_calls"] == 0
+        assert stats["round_trips"] == 0
+        assert stats["worker_cache_hits"] == 0
+
+    def test_counters_are_ints(self):
+        with CallScheduler(max_workers=1) as scheduler:
+            stats = scheduler.transport_stats()
+            for key in TRANSPORT_COUNTER_KEYS:
+                assert isinstance(stats[key], int), key
+
+
+class TestWorkerReportBooks:
+    def test_zero_completion_schema(self):
+        payload = WorkerReport(worker_id=0).to_dict(clock_hz=33e6)
+        _assert_schema(payload)
+        assert payload["kind"] == "pool_worker"
+        assert payload["calls"] == 0
+        assert payload["cycles"] == 0.0
+        assert payload["cache"] == {}
+        assert payload["residency_hit_rate"] is None
+        assert payload["transport"] == {}
+
+    def test_transport_books_pass_through(self):
+        report = WorkerReport(worker_id=1, calls_routed=4,
+                              transport={"shm_calls": 4,
+                                         "round_trips": 2})
+        payload = report.to_dict(clock_hz=33e6)
+        assert payload["transport"] == {"shm_calls": 4,
+                                        "round_trips": 2}
+
+
+class TestPoolReportBooks:
+    def test_zero_completion_schema(self):
+        payload = PoolReport(placement="affinity").to_dict()
+        _assert_schema(payload)
+        assert payload["kind"] == "pool"
+        assert payload["calls"] == 0
+        assert payload["workers"] == []
+        assert payload["transport"] == {key: 0 for key in
+                                        TRANSPORT_COUNTER_KEYS}
+
+    def test_transport_sums_across_boards(self):
+        report = PoolReport(placement="affinity", workers=[
+            WorkerReport(worker_id=0,
+                         transport={"shm_calls": 3, "round_trips": 1,
+                                    "store": {"segments": 2}}),
+            WorkerReport(worker_id=1,
+                         transport={"shm_calls": 2, "round_trips": 1,
+                                    "round_trip_s": 0.001}),
+        ])
+        totals = report.transport
+        assert totals["shm_calls"] == 5
+        assert totals["round_trips"] == 2
+        # Non-counter entries (nested store stats, float round trips)
+        # never leak into the summed books.
+        assert set(totals) == set(TRANSPORT_COUNTER_KEYS)
+
+    def test_live_pool_report_conforms(self):
+        calls = [BatchCall.intra(INTRA_GRAD, noise_frame(QCIF, seed=i))
+                 for i in range(4)]
+        with EnginePool.of_engines(2) as pool:
+            pool.dispatch(calls)
+            report = pool.report()
+        payload = report.to_dict()
+        _assert_schema(payload)
+        assert payload["calls"] == len(calls)
+        workers = payload["workers"]
+        assert len(workers) == 2
+        for worker_payload in workers:
+            _assert_schema(worker_payload)
+            assert worker_payload["kind"] == "pool_worker"
+        summed = {key: 0 for key in TRANSPORT_COUNTER_KEYS}
+        for worker in report.workers:
+            for key in TRANSPORT_COUNTER_KEYS:
+                value = worker.transport.get(key)
+                if isinstance(value, int):
+                    summed[key] += value
+        assert report.transport == summed
+
+
+class TestSchemaContract:
+    def test_scheduler_stats_cover_pool_counter_keys(self):
+        with CallScheduler(max_workers=1) as scheduler:
+            stats = scheduler.transport_stats()
+        missing = [key for key in TRANSPORT_COUNTER_KEYS
+                   if key not in stats]
+        assert not missing, (
+            f"PoolReport.transport sums keys transport_stats() no "
+            f"longer emits: {missing}")
+
+    def test_base_report_dict_normalises_types(self):
+        payload = base_report_dict("x", calls=3, cycles=7,
+                                   cache=None, transport={"a": 1})
+        _assert_schema(payload)
+        assert payload["cycles"] == 7.0
+        assert payload["transport"] == {"a": 1}
