@@ -12,8 +12,9 @@ validates them three ways:
 
 import pytest
 
-from repro.addresslib import (ChannelSet, CountedExecutor, INTER_ABSDIFF,
-                              INTRA_COPY, INTRA_HOMOGENEITY)
+from repro.addresslib import (COUNTED_EXECUTOR_KINDS, ChannelSet,
+                              INTER_ABSDIFF, INTRA_COPY,
+                              INTRA_HOMOGENEITY, counted_executor)
 from repro.core import AddressEngine, intra_config
 from repro.image import CIF, ImageFormat, PlanarFrame420, QCIF, noise_frame
 from repro.perf import PAPER_TABLE2, format_table, table2_rows
@@ -38,15 +39,17 @@ def test_table2_analytic_rows_match_paper(benchmark, save_report):
                      "(all values match the paper exactly)"))
 
 
-def test_table2_counted_executor_validates_software_column(benchmark):
-    """The genuine per-pixel walk reproduces the idealised counts (up to
-    the first window fill) -- measured on QCIF, scaling exactly."""
+@pytest.mark.parametrize("kind", COUNTED_EXECUTOR_KINDS)
+def test_table2_counted_executor_validates_software_column(benchmark, kind):
+    """Both counted paths -- the genuine per-pixel walk and the
+    strip-vectorized analytic crediting -- reproduce the idealised
+    counts (up to the first window fill), measured on QCIF."""
     frame = noise_frame(QCIF, seed=5)
 
     def run_counted():
         src = PlanarFrame420.from_frame(frame)
         dst = PlanarFrame420(QCIF, src.counter)
-        CountedExecutor().intra(INTRA_HOMOGENEITY, src, dst)
+        counted_executor(kind).intra(INTRA_HOMOGENEITY, src, dst)
         return src.counter.total
 
     measured = benchmark.pedantic(run_counted, rounds=1, iterations=1)

@@ -117,8 +117,94 @@ class Neighbourhood:
         access model behind Table 2 (3 fresh reads per step for CON_8).
         """
         step = (1, 0) if scan is ScanOrder.HORIZONTAL else (0, 1)
-        previous = {(dx - step[0], dy - step[1]) for dx, dy in self.offsets}
-        return tuple(off for off in self.offsets if off not in previous)
+        return self.fresh_offsets_for_step(step)
+
+    def fresh_offsets_for_step(self, step: Tuple[int, int]
+                               ) -> Tuple[Tuple[int, int], ...]:
+        """Offsets that must be (re)loaded when the window moves by
+        ``step``.
+
+        An offset ``o`` of the new window can reuse the old window's
+        value at ``o + step`` if that position was itself in the window;
+        everything else is fresh.  The serpentine walk only ever moves by
+        unit steps, but the rule holds for any displacement.
+        """
+        kept = {(dx - step[0], dy - step[1]) for dx, dy in self.offsets}
+        return tuple(off for off in self.offsets if off not in kept)
+
+    # -- closed-form serpentine access counts -------------------------------
+    #
+    # After the very first window fill the sliding window always covers
+    # the complete offset set, so the fresh-read count of every later
+    # step depends only on the step direction.  A serpentine walk uses
+    # exactly three directions: forward along the scan, backward along
+    # the scan (alternate lines), and one turn step between lines.  That
+    # makes the total read count of the per-pixel walk a closed form --
+    # which is what lets the strip executor credit access counters
+    # without visiting pixels.
+
+    def _serpentine_params(self, width: int, height: int,
+                           scan: ScanOrder) -> Tuple[int, int, int, int, int]:
+        """``(lines, line_len, f_fwd, f_bwd, f_turn)`` of the walk."""
+        if width < 1 or height < 1:
+            raise ValueError(f"plane must be at least 1x1, "
+                             f"got {width}x{height}")
+        if scan is ScanOrder.HORIZONTAL:
+            lines, line_len = height, width
+            fwd, turn = (1, 0), (0, 1)
+        else:
+            lines, line_len = width, height
+            fwd, turn = (0, 1), (1, 0)
+        bwd = (-fwd[0], -fwd[1])
+        return (lines, line_len,
+                len(self.fresh_offsets_for_step(fwd)),
+                len(self.fresh_offsets_for_step(bwd)),
+                len(self.fresh_offsets_for_step(turn)))
+
+    def serpentine_reads_in_lines(self, first_line: int, line_count: int,
+                                  width: int, height: int,
+                                  scan: ScanOrder = ScanOrder.HORIZONTAL
+                                  ) -> int:
+        """Fresh reads of the serpentine walk over one run of scan lines.
+
+        ``first_line`` / ``line_count`` select whole scan lines (frame
+        rows for a horizontal scan, frame columns for a vertical one).
+        Line 0 pays the full window fill at its first position; every
+        other line pays one line-turn step; within a line the remaining
+        ``line_len - 1`` steps pay the forward or backward leading edge
+        depending on the line's parity.  Summed over all lines this is
+        exactly what the per-pixel walk counts.
+        """
+        lines, line_len, f_fwd, f_bwd, f_turn = self._serpentine_params(
+            width, height, scan)
+        last = first_line + line_count
+        if not 0 <= first_line <= last <= lines:
+            raise ValueError(
+                f"lines [{first_line}, {last}) outside [0, {lines})")
+        even = (last + 1) // 2 - (first_line + 1) // 2
+        odd = line_count - even
+        reads = (line_len - 1) * (even * f_fwd + odd * f_bwd)
+        if first_line == 0 and line_count > 0:
+            reads += self.size + (line_count - 1) * f_turn
+        else:
+            reads += line_count * f_turn
+        return reads
+
+    def serpentine_reads(self, width: int, height: int,
+                         scan: ScanOrder = ScanOrder.HORIZONTAL) -> int:
+        """Total fresh reads of the full serpentine walk over a plane.
+
+        Closed form: the first position loads the whole window, each of
+        the ``lines - 1`` turns loads the turn edge, and each of the
+        ``line_len - 1`` in-line steps loads the forward or backward
+        edge of its line.  Bit-identical to what
+        :class:`~repro.addresslib.executor.CountedExecutor` tallies.
+        """
+        lines, line_len, f_fwd, f_bwd, f_turn = self._serpentine_params(
+            width, height, scan)
+        return (self.size + (lines - 1) * f_turn
+                + (line_len - 1) * ((lines + 1) // 2 * f_fwd
+                                    + lines // 2 * f_bwd))
 
     def bounding_box(self) -> Tuple[int, int, int, int]:
         """``(min_dx, min_dy, max_dx, max_dy)`` of the offsets."""

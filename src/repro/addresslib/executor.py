@@ -1,6 +1,7 @@
 """Software executors for AddressLib calls.
 
-Two executors implement the same call semantics at different granularity:
+Three executors implement the same call semantics at different
+granularity:
 
 * :class:`VectorExecutor` -- bulk numpy execution on packed
   :class:`~repro.image.frame.Frame` objects.  This is the fast functional
@@ -11,6 +12,12 @@ Two executors implement the same call semantics at different granularity:
   the AddressLib C implementation would: serpentine scan with sliding
   neighbourhood reuse, so each step reads only the window's leading edge.
   Its access counts are the *software* column of Table 2.
+* :class:`StripCountedExecutor` -- the same counted semantics compiled
+  to strip-granular numpy: each output strip is one bulk neighbourhood
+  operation and the access counters are credited analytically from the
+  closed-form serpentine read counts.  Outputs *and* per-channel tallies
+  are bit-identical to the per-pixel walk, which stays the golden
+  reference (:func:`counted_executor` selects between them).
 
 :class:`SoftwareCostModel` computes the analytic instruction profile of a
 call (validated against :class:`CountedExecutor` by tests); it feeds the
@@ -20,20 +27,42 @@ Pentium-M timing model behind Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..image.formats import ImageFormat
+from ..image.formats import STRIP_LINES, ImageFormat
 from ..image.frame import Frame
-from ..image.pixel import Channel
-from ..image.planar import SUBSAMPLED_CHANNELS, PlanarFrame420
+from ..image.pixel import ALL_CHANNELS, Channel
+from ..image.planar import (SUBSAMPLED_CHANNELS, AccessCounter,
+                            PlanarFrame420)
 from .addressing import Neighbourhood, ScanOrder
 from .ops import ChannelSet, InterOp, IntraOp
-from .profiling import InstructionCost, OpProfile
+from .profiling import (InstructionCost, OpProfile, diff_access_snapshots,
+                        format_access_mismatches)
 
 #: Map from channel-set names to packed-frame channels.
 _CHANNEL_BY_NAME = {"Y": Channel.Y, "U": Channel.U, "V": Channel.V}
+
+
+def _zero_snapshot() -> Dict[str, int]:
+    """An all-zero counter snapshot (same keys as
+    :meth:`~repro.image.planar.AccessCounter.snapshot`)."""
+    snapshot = {"total": 0, "reads": 0, "writes": 0}
+    for channel in ALL_CHANNELS:
+        snapshot[f"reads_{channel.name}"] = 0
+        snapshot[f"writes_{channel.name}"] = 0
+    return snapshot
+
+
+def _credit_snapshot(snapshot: Dict[str, int], channel: Channel,
+                     reads: int, writes: int) -> None:
+    """Accumulate one channel's tallies into a snapshot-shaped dict."""
+    snapshot[f"reads_{channel.name}"] += reads
+    snapshot[f"writes_{channel.name}"] += writes
+    snapshot["reads"] += reads
+    snapshot["writes"] += writes
+    snapshot["total"] += reads + writes
 
 
 def channels_of(channel_set: ChannelSet) -> Tuple[Channel, ...]:
@@ -42,11 +71,17 @@ def channels_of(channel_set: ChannelSet) -> Tuple[Channel, ...]:
                  for name in channel_set.channel_names)
 
 
+def plane_dims_420(fmt: ImageFormat, channel: Channel) -> Tuple[int, int]:
+    """``(width, height)`` of ``channel``'s plane in the 4:2:0 layout."""
+    if channel in SUBSAMPLED_CHANNELS:
+        return -(-fmt.width // 2), -(-fmt.height // 2)
+    return fmt.width, fmt.height
+
+
 def plane_pixels_420(fmt: ImageFormat, channel: Channel) -> int:
     """Pixels of ``channel``'s plane in the software 4:2:0 layout."""
-    if channel in SUBSAMPLED_CHANNELS:
-        return (-(-fmt.width // 2)) * (-(-fmt.height // 2))
-    return fmt.pixels
+    width, height = plane_dims_420(fmt, channel)
+    return width * height
 
 
 # ---------------------------------------------------------------------------
@@ -56,7 +91,7 @@ def plane_pixels_420(fmt: ImageFormat, channel: Channel) -> int:
 try:
     from numpy.lib.stride_tricks import sliding_window_view
 except ImportError:  # pragma: no cover - numpy < 1.20
-    sliding_window_view = None
+    sliding_window_view = None  # type: ignore[assignment]
 
 
 def _clamped_shift(plane: np.ndarray, dx: int, dy: int) -> np.ndarray:
@@ -224,30 +259,83 @@ class CountedExecutor:
                      output: PlanarFrame420, channel: Channel) -> None:
         width, height = self._plane_dims(frame, channel)
         offsets = op.neighbourhood.offsets
-        window: Dict[Tuple[int, int], int] = {}
-        previous: Optional[Tuple[int, int]] = None
-        for x, y in serpentine_positions(width, height, self.scan):
-            if previous is None:
-                fresh = offsets
-                shifted: Dict[Tuple[int, int], int] = {}
-            else:
-                step = (x - previous[0], y - previous[1])
-                shifted = {}
-                for off, value in window.items():
-                    moved = (off[0] - step[0], off[1] - step[1])
-                    if moved in op.neighbourhood.offsets:
-                        shifted[moved] = value
-                fresh = tuple(off for off in offsets if off not in shifted)
-            for dx, dy in fresh:
-                cx = min(max(x + dx, 0), width - 1)
-                cy = min(max(y + dy, 0), height - 1)
-                fx, fy = self._full_res(channel, cx, cy)
-                shifted[(dx, dy)] = frame.read(channel, fx, fy)
-            window = shifted
-            values = [window[off] for off in offsets]
-            fx, fy = self._full_res(channel, x, y)
-            output.write(channel, fx, fy, op.apply_scalar(values))
-            previous = (x, y)
+        scale = 2 if channel in SUBSAMPLED_CHANNELS else 1
+        plans = {step: self._step_plan(op.neighbourhood, step)
+                 for step in self._unit_steps()}
+        fill_plan = tuple((-1, dx, dy) for dx, dy in offsets)
+        read = frame.read
+        write = output.write
+        apply_scalar = op.apply_scalar
+        turn_plan = plans[self._turn_step()]
+        window: List[int] = []
+        for positions, step in self._serpentine_lines(width, height):
+            in_line_plan = plans[step]
+            first = positions[0]
+            for px, py in positions:
+                # The window is a list in ``offsets`` order; each step's
+                # precomputed plan says which slot carries over (reads
+                # happen only for the leading edge, exactly as before).
+                plan = (fill_plan if not window
+                        else in_line_plan if (px, py) != first
+                        else turn_plan)
+                previous = window
+                window = [
+                    previous[src] if src >= 0 else
+                    read(channel,
+                         scale * min(max(px + dx, 0), width - 1),
+                         scale * min(max(py + dy, 0), height - 1))
+                    for src, dx, dy in plan]
+                write(channel, scale * px, scale * py,
+                      apply_scalar(window))
+
+    def _unit_steps(self) -> Tuple[Tuple[int, int], ...]:
+        """The step directions a serpentine walk uses under this scan."""
+        if self.scan is ScanOrder.HORIZONTAL:
+            return ((1, 0), (-1, 0), (0, 1))
+        return ((0, 1), (0, -1), (1, 0))
+
+    def _turn_step(self) -> Tuple[int, int]:
+        """The line-turn step of this scan order."""
+        return (0, 1) if self.scan is ScanOrder.HORIZONTAL else (1, 0)
+
+    @staticmethod
+    def _step_plan(neighbourhood: Neighbourhood, step: Tuple[int, int]
+                   ) -> Tuple[Tuple[int, int, int], ...]:
+        """Per-offset reuse plan for a window move of ``step``.
+
+        One entry per offset, in offset order: ``(src, dx, dy)`` where
+        ``src`` is the previous window slot whose value carries over, or
+        ``-1`` when the offset is on the leading edge and must be read
+        (at clamped position ``centre + (dx, dy)``).
+        """
+        index_of = {off: i for i, off in enumerate(neighbourhood.offsets)}
+        plan = []
+        for dx, dy in neighbourhood.offsets:
+            src = index_of.get((dx + step[0], dy + step[1]), -1)
+            plan.append((src, dx, dy))
+        return tuple(plan)
+
+    def _serpentine_lines(self, width: int, height: int
+                          ) -> Iterator[Tuple[List[Tuple[int, int]],
+                                              Tuple[int, int]]]:
+        """Scan lines of the serpentine walk: ``(positions, step)``.
+
+        ``positions`` are the line's plane coordinates in visit order and
+        ``step`` the in-line step direction; the first position of every
+        line after the first is reached by the turn step instead.
+        """
+        if self.scan is ScanOrder.HORIZONTAL:
+            for y in range(height):
+                xs = (range(width) if y % 2 == 0
+                      else range(width - 1, -1, -1))
+                step = (1, 0) if y % 2 == 0 else (-1, 0)
+                yield [(x, y) for x in xs], step
+        else:
+            for x in range(width):
+                ys = (range(height) if x % 2 == 0
+                      else range(height - 1, -1, -1))
+                step = (0, 1) if x % 2 == 0 else (0, -1)
+                yield [(x, y) for y in ys], step
 
     # -- helpers --------------------------------------------------------------
 
@@ -264,6 +352,252 @@ class CountedExecutor:
         if channel in SUBSAMPLED_CHANNELS:
             return x * 2, y * 2
         return x, y
+
+
+# ---------------------------------------------------------------------------
+# Strip-vectorized counted executor
+# ---------------------------------------------------------------------------
+
+def _strip_stack_rows(plane: np.ndarray, neighbourhood: Neighbourhood,
+                      y0: int, y1: int) -> np.ndarray:
+    """Neighbourhood stack of output rows ``[y0, y1)`` of ``plane``.
+
+    Row clamping replicates at the *frame* borders (not the strip
+    borders) via a clipped row gather; column clamping is one edge pad.
+    Element ``(i, y - y0, x)`` equals
+    ``plane[clip(y + dy_i), clip(x + dx_i)]`` -- the same value the
+    per-pixel walk's clamped read returns.
+    """
+    height, width = plane.shape
+    min_dx, min_dy, max_dx, max_dy = neighbourhood.bounding_box()
+    rows = np.clip(np.arange(y0 + min_dy, y1 + max_dy), 0, height - 1)
+    pad_left = max(0, -min_dx)
+    pad_right = max(0, max_dx)
+    slab = np.pad(plane[rows], ((0, 0), (pad_left, pad_right)),
+                  mode="edge")
+    strip_h = y1 - y0
+    return np.stack([slab[dy - min_dy:dy - min_dy + strip_h,
+                          pad_left + dx:pad_left + dx + width]
+                     for dx, dy in neighbourhood.offsets])
+
+
+def _strip_stack_cols(plane: np.ndarray, neighbourhood: Neighbourhood,
+                      x0: int, x1: int) -> np.ndarray:
+    """Neighbourhood stack of output columns ``[x0, x1)`` of ``plane``.
+
+    The vertical-scan twin of :func:`_strip_stack_rows`: strips run
+    parallel to the scan, so a vertical scan slices column bands.
+    """
+    height, width = plane.shape
+    min_dx, min_dy, max_dx, max_dy = neighbourhood.bounding_box()
+    cols = np.clip(np.arange(x0 + min_dx, x1 + max_dx), 0, width - 1)
+    pad_top = max(0, -min_dy)
+    pad_bottom = max(0, max_dy)
+    slab = np.pad(plane[:, cols], ((pad_top, pad_bottom), (0, 0)),
+                  mode="edge")
+    strip_w = x1 - x0
+    return np.stack([slab[pad_top + dy:pad_top + dy + height,
+                          dx - min_dx:dx - min_dx + strip_w]
+                     for dx, dy in neighbourhood.offsets])
+
+
+class StripCountedExecutor:
+    """Counted execution compiled to numpy strips.
+
+    Same ``inter``/``intra`` surface and same
+    :class:`~repro.image.planar.PlanarFrame420` stores as
+    :class:`CountedExecutor`, but each output plane is computed strip by
+    strip with one bulk ``op.apply_vector`` per strip (clamp-padded
+    shifted views per neighbourhood offset), the way the coprocessor
+    streams 16-line strips through its input matrix.  Access counters
+    are credited analytically per strip from the closed-form serpentine
+    read counts (window fill at the first position, turn edges at line
+    turns, leading edges in steady state) -- so outputs *and*
+    per-channel read/write tallies are bit-identical to the per-pixel
+    walk, which remains the golden reference.
+
+    ``validate=True`` shadow-runs the scalar walk on every call and
+    raises :class:`AssertionError` on any output or tally divergence
+    (the CI cross-check; costs the full per-pixel price).
+    """
+
+    def __init__(self, scan: ScanOrder = ScanOrder.HORIZONTAL,
+                 strip_lines: int = STRIP_LINES,
+                 validate: bool = False) -> None:
+        if strip_lines < 1:
+            raise ValueError(f"strip_lines must be positive, "
+                             f"got {strip_lines}")
+        self.scan = scan
+        self.strip_lines = strip_lines
+        self.validate = validate
+
+    # -- inter ---------------------------------------------------------------
+
+    def inter(self, op: InterOp, frame_a: PlanarFrame420,
+              frame_b: PlanarFrame420, output: PlanarFrame420,
+              channels: ChannelSet = ChannelSet.Y) -> None:
+        """Counted elementwise op: one bulk operation per plane.
+
+        The walk reads every element of both planes exactly once and
+        writes every output element once; there is nothing
+        position-dependent to correct, so each plane credits in one
+        step.
+        """
+        before = (_merged_snapshot(frame_a.counter, frame_b.counter,
+                                   output.counter)
+                  if self.validate else None)
+        for channel in channels_of(channels):
+            width, height = plane_dims_420(frame_a.format, channel)
+            pixels = width * height
+            plane_a = frame_a.plane_view(channel, reads=pixels)
+            plane_b = frame_b.plane_view(channel, reads=pixels)
+            out = output.plane_view(channel, writes=pixels)
+            out[:] = op.apply_vector(plane_a, plane_b)
+        if before is not None:
+            after = _merged_snapshot(frame_a.counter, frame_b.counter,
+                                     output.counter)
+            self._validate_inter(op, frame_a, frame_b, output, channels,
+                                 _snapshot_delta(before, after))
+
+    # -- intra ---------------------------------------------------------------
+
+    def intra(self, op: IntraOp, frame: PlanarFrame420,
+              output: PlanarFrame420,
+              channels: ChannelSet = ChannelSet.Y) -> None:
+        """Counted neighbourhood op, one bulk operation per strip."""
+        before = (_merged_snapshot(frame.counter, output.counter)
+                  if self.validate else None)
+        for channel in channels_of(channels):
+            self._intra_plane(op, frame, output, channel)
+        if before is not None:
+            after = _merged_snapshot(frame.counter, output.counter)
+            self._validate_intra(op, frame, output, channels,
+                                 _snapshot_delta(before, after))
+
+    def _intra_plane(self, op: IntraOp, frame: PlanarFrame420,
+                     output: PlanarFrame420, channel: Channel) -> None:
+        width, height = plane_dims_420(frame.format, channel)
+        neighbourhood = op.neighbourhood
+        # Strips run parallel to the scan: row bands for a horizontal
+        # scan, column bands for a vertical one (scan lines = strip
+        # lines either way, so per-strip crediting covers whole lines).
+        lines = height if self.scan is ScanOrder.HORIZONTAL else width
+        for l0 in range(0, lines, self.strip_lines):
+            l1 = min(l0 + self.strip_lines, lines)
+            reads = neighbourhood.serpentine_reads_in_lines(
+                l0, l1 - l0, width, height, self.scan)
+            line_len = width if self.scan is ScanOrder.HORIZONTAL \
+                else height
+            src = frame.plane_view(channel, reads=reads)
+            out = output.plane_view(channel,
+                                    writes=(l1 - l0) * line_len)
+            if self.scan is ScanOrder.HORIZONTAL:
+                stack = _strip_stack_rows(src, neighbourhood, l0, l1)
+                out[l0:l1, :] = op.apply_vector(stack)
+            else:
+                stack = _strip_stack_cols(src, neighbourhood, l0, l1)
+                out[:, l0:l1] = op.apply_vector(stack)
+
+    # -- golden-reference validation -----------------------------------------
+
+    def _validate_inter(self, op: InterOp, frame_a: PlanarFrame420,
+                        frame_b: PlanarFrame420, output: PlanarFrame420,
+                        channels: ChannelSet,
+                        measured_delta: Dict[str, int]) -> None:
+        shadow_a = _uncounted_copy(frame_a)
+        shadow_b = _uncounted_copy(frame_b, shadow_a.counter)
+        shadow_out = PlanarFrame420(output.format, shadow_a.counter)
+        CountedExecutor(self.scan).inter(op, shadow_a, shadow_b,
+                                         shadow_out, channels)
+        self._check_against_shadow(shadow_out, output, shadow_a.counter,
+                                   measured_delta, channels, op.name)
+
+    def _validate_intra(self, op: IntraOp, frame: PlanarFrame420,
+                        output: PlanarFrame420, channels: ChannelSet,
+                        measured_delta: Dict[str, int]) -> None:
+        shadow = _uncounted_copy(frame)
+        shadow_out = PlanarFrame420(output.format, shadow.counter)
+        CountedExecutor(self.scan).intra(op, shadow, shadow_out, channels)
+        self._check_against_shadow(shadow_out, output, shadow.counter,
+                                   measured_delta, channels, op.name)
+
+    @staticmethod
+    def _check_against_shadow(shadow_out: PlanarFrame420,
+                              output: PlanarFrame420,
+                              shadow_counter: AccessCounter,
+                              measured_delta: Dict[str, int],
+                              channels: ChannelSet, op_name: str) -> None:
+        for channel in channels_of(channels):
+            if not np.array_equal(shadow_out.plane(channel),
+                                  output.plane(channel)):
+                raise AssertionError(
+                    f"{op_name}: strip output diverges from the scalar "
+                    f"walk on channel {channel.name}")
+        # The shadow ran on fresh counters, so its snapshot is this
+        # call's delta; the caller measured its own counter delta across
+        # the call (the counters may carry earlier history).
+        mismatches = diff_access_snapshots(shadow_counter.snapshot(),
+                                           measured_delta)
+        if mismatches:
+            raise AssertionError(
+                f"{op_name}: strip access counts diverge from the "
+                f"scalar walk: {format_access_mismatches(mismatches)}")
+
+
+def _uncounted_copy(frame: PlanarFrame420,
+                    counter: Optional[AccessCounter] = None
+                    ) -> PlanarFrame420:
+    """A plane-for-plane copy on a fresh (or given) counter."""
+    copy = PlanarFrame420(frame.format, counter)
+    for channel in ALL_CHANNELS:
+        copy.plane(channel)[:] = frame.plane(channel)
+    return copy
+
+
+def _merged_snapshot(*counters: AccessCounter) -> Dict[str, int]:
+    """Summed snapshot over distinct counters (stores may share one)."""
+    seen: List[AccessCounter] = []
+    for counter in counters:
+        if not any(counter is known for known in seen):
+            seen.append(counter)
+    merged: Dict[str, int] = {}
+    for counter in seen:
+        for key, value in counter.snapshot().items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _snapshot_delta(before: Dict[str, int],
+                    after: Dict[str, int]) -> Dict[str, int]:
+    """Per-key difference ``after - before`` of two counter snapshots."""
+    return {key: after.get(key, 0) - before.get(key, 0)
+            for key in set(before) | set(after)}
+
+
+#: The counted-executor kinds :func:`counted_executor` accepts.
+COUNTED_EXECUTOR_KINDS = ("scalar", "strip")
+
+CountedExecutorLike = Union[CountedExecutor, StripCountedExecutor]
+
+
+def counted_executor(counted: str = "strip",
+                     scan: ScanOrder = ScanOrder.HORIZONTAL,
+                     strip_lines: int = STRIP_LINES,
+                     validate: bool = False) -> CountedExecutorLike:
+    """Build a counted executor by kind: ``"scalar"`` or ``"strip"``.
+
+    The strip path is the default everywhere speed matters (cost-model
+    validation, Table 2 emission, benchmarks); the scalar walk is the
+    golden reference CI checks the strip path against.  ``strip_lines``
+    and ``validate`` only apply to the strip kind.
+    """
+    if counted == "scalar":
+        return CountedExecutor(scan)
+    if counted == "strip":
+        return StripCountedExecutor(scan, strip_lines=strip_lines,
+                                    validate=validate)
+    raise ValueError(f"unknown counted executor kind {counted!r}; "
+                     f"expected one of {COUNTED_EXECUTOR_KINDS}")
 
 
 # ---------------------------------------------------------------------------
@@ -345,3 +679,45 @@ class SoftwareCostModel:
         fresh = len(op.neighbourhood.fresh_offsets(scan))
         return sum((fresh + 1) * plane_pixels_420(fmt, c)
                    for c in channels_of(channels))
+
+    # -- exact counted-walk predictions -------------------------------------
+
+    def inter_counts_exact(self, fmt: ImageFormat,
+                           channels: ChannelSet = ChannelSet.Y
+                           ) -> Dict[str, int]:
+        """Exact per-channel tallies of one counted inter call.
+
+        Snapshot-shaped (the format of
+        :meth:`~repro.image.planar.AccessCounter.snapshot`), assuming
+        the two inputs and the output share one counter -- the way the
+        counted experiments wire their stores.  Both counted executors
+        must match this exactly; :func:`diff_access_snapshots` is the
+        comparison hook.
+        """
+        snapshot = _zero_snapshot()
+        for channel in channels_of(channels):
+            pixels = plane_pixels_420(fmt, channel)
+            _credit_snapshot(snapshot, channel,
+                             reads=2 * pixels, writes=pixels)
+        return snapshot
+
+    def intra_counts_exact(self, op: IntraOp, fmt: ImageFormat,
+                           channels: ChannelSet = ChannelSet.Y,
+                           scan: ScanOrder = ScanOrder.HORIZONTAL
+                           ) -> Dict[str, int]:
+        """Exact per-channel tallies of one counted intra call.
+
+        Unlike :meth:`intra_accesses` (steady state only) this includes
+        the first-position window fill and the line-turn edge loads, so
+        it equals the measured counter snapshot *exactly* for any plane
+        geometry -- the closed form the strip executor credits from.
+        """
+        snapshot = _zero_snapshot()
+        for channel in channels_of(channels):
+            width, height = plane_dims_420(fmt, channel)
+            _credit_snapshot(
+                snapshot, channel,
+                reads=op.neighbourhood.serpentine_reads(width, height,
+                                                        scan),
+                writes=width * height)
+        return snapshot

@@ -18,7 +18,7 @@ This module defines the profile vocabulary used everywhere else:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Mapping, Tuple
 
 #: Instruction classes tracked by the profiler.  ``addr`` is pixel address
 #: arithmetic (index computation, pointer stepping, bounds/border checks
@@ -156,3 +156,36 @@ class OpProfile:
         result["total"] = self.total_instructions
         result["addressing_fraction"] = self.addressing_fraction
         return result
+
+
+# ---------------------------------------------------------------------------
+# Access-count validation
+# ---------------------------------------------------------------------------
+
+def diff_access_snapshots(expected: Mapping[str, int],
+                          measured: Mapping[str, int]
+                          ) -> Dict[str, Tuple[int, int]]:
+    """Keys whose tallies differ: ``name -> (expected, measured)``.
+
+    Both arguments are snapshot-shaped mappings (the format of
+    :meth:`repro.image.planar.AccessCounter.snapshot` and of
+    :meth:`~repro.addresslib.executor.SoftwareCostModel.intra_counts_exact`).
+    Keys present on only one side count as a mismatch against zero.  An
+    empty result means the access predictions validate exactly -- this
+    is the hook the strip executor's ``validate`` mode and the
+    equivalence tests both check.
+    """
+    mismatches: Dict[str, Tuple[int, int]] = {}
+    for key in sorted(set(expected) | set(measured)):
+        want = int(expected.get(key, 0))
+        got = int(measured.get(key, 0))
+        if want != got:
+            mismatches[key] = (want, got)
+    return mismatches
+
+
+def format_access_mismatches(mismatches: Mapping[str, Tuple[int, int]]
+                             ) -> str:
+    """One-line rendering of a :func:`diff_access_snapshots` result."""
+    return "; ".join(f"{key}: expected {want}, measured {got}"
+                     for key, (want, got) in sorted(mismatches.items()))

@@ -16,7 +16,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,27 @@ class AccessCounter:
         self.reads[channel] += n
 
     def count_write(self, channel: Channel, n: int = 1) -> None:
+        self.writes[channel] += n
+
+    # -- bulk (analytic) crediting ------------------------------------------
+
+    def credit_reads(self, channel: Channel, n: int) -> None:
+        """Bulk-credit ``n`` element reads in one step.
+
+        The strip-vectorized counted executor computes whole strips with
+        numpy and credits the reads the per-pixel walk *would* have made
+        analytically (closed-form serpentine counts); crediting is the
+        only difference from :meth:`count_read` -- the tallies land in
+        the same per-channel buckets.
+        """
+        if n < 0:
+            raise ValueError(f"cannot credit {n} reads")
+        self.reads[channel] += n
+
+    def credit_writes(self, channel: Channel, n: int) -> None:
+        """Bulk-credit ``n`` element writes in one step."""
+        if n < 0:
+            raise ValueError(f"cannot credit {n} writes")
         self.writes[channel] += n
 
     @property
@@ -107,7 +128,7 @@ class PlanarFrame420:
         """Raw (uncounted) plane access; use for bulk setup only."""
         return self._planes[channel]
 
-    def _coords(self, channel: Channel, x: int, y: int):
+    def _coords(self, channel: Channel, x: int, y: int) -> Tuple[int, int]:
         if not self.format.contains(x, y):
             raise IndexError(
                 f"pixel ({x}, {y}) outside {self.width}x{self.height}")
@@ -128,6 +149,20 @@ class PlanarFrame420:
         row, col = self._coords(channel, x, y)
         self.counter.count_write(channel)
         self._planes[channel][row, col] = value
+
+    def plane_view(self, channel: Channel, *, reads: int = 0,
+                   writes: int = 0) -> np.ndarray:
+        """Counted bulk access to one plane, at the plane's own resolution.
+
+        Returns the raw plane array after crediting ``reads`` /
+        ``writes`` element accesses to the counter.  This is the strip
+        executor's doorway: it touches the plane with bulk numpy
+        operations while the counter records the accesses the per-pixel
+        walk would have performed (credited analytically, per strip).
+        """
+        self.counter.credit_reads(channel, reads)
+        self.counter.credit_writes(channel, writes)
+        return self._planes[channel]
 
     def read_clamped(self, channel: Channel, x: int, y: int) -> int:
         """Counted read with coordinates clamped to the frame border.

@@ -8,7 +8,7 @@ from repro.addresslib import (COLUMN_9, CON_0, CON_4, CON_8, CON_24,
                               MAX_NEIGHBOURHOOD_LINES, AddressingMode,
                               Neighbourhood, ScanOrder,
                               neighbour_positions, neighbourhood_by_name,
-                              scan_positions)
+                              scan_positions, serpentine_positions)
 from repro.image import ImageFormat
 
 FMT = ImageFormat("T6x4", 6, 4)
@@ -130,3 +130,91 @@ class TestNeighbourPositions:
     def test_clamped_positions_always_in_frame(self, x, y):
         for px, py in neighbour_positions(x, y, CON_24, FMT, clamp=True):
             assert FMT.contains(px, py)
+
+
+def _walked_reads(neighbourhood, width, height, scan):
+    """Independent reference: replay the serpentine walk with a dict
+    window (the pre-vectorization scalar executor's exact mechanism)
+    and count how many offsets each step must load fresh."""
+    offset_set = set(neighbourhood.offsets)
+    window = {}
+    reads = 0
+    previous = None
+    for x, y in serpentine_positions(width, height, scan):
+        shifted = {}
+        if previous is not None:
+            sx, sy = x - previous[0], y - previous[1]
+            for (dx, dy), value in window.items():
+                if (dx - sx, dy - sy) in offset_set:
+                    shifted[(dx - sx, dy - sy)] = value
+        for off in neighbourhood.offsets:
+            if off not in shifted:
+                shifted[off] = 0  # content is irrelevant; count the load
+                reads += 1
+        window = shifted
+        previous = (x, y)
+    return reads
+
+
+class TestFreshOffsetsForStep:
+    def test_con8_three_fresh_per_unit_step(self):
+        for step in [(1, 0), (-1, 0), (0, 1), (0, -1)]:
+            assert len(CON_8.fresh_offsets_for_step(step)) == 3
+
+    def test_asymmetric_neighbourhood_directional_counts(self):
+        """An L-shaped set reuses differently per direction."""
+        ell = Neighbourhood("ell", ((0, 0), (1, 0), (0, 1)))
+        # moving right: (0,0) reuses old (1,0); (1,0) and (0,1) fresh
+        assert set(ell.fresh_offsets_for_step((1, 0))) == {(1, 0), (0, 1)}
+        # moving left: (1,0) reuses old (0,0); others fresh
+        assert set(ell.fresh_offsets_for_step((-1, 0))) == {(0, 0), (0, 1)}
+
+    def test_far_step_everything_fresh(self):
+        assert len(CON_8.fresh_offsets_for_step((10, 10))) == CON_8.size
+
+    def test_zero_step_nothing_fresh(self):
+        assert CON_8.fresh_offsets_for_step((0, 0)) == ()
+
+
+class TestSerpentineReadsClosedForm:
+    """The closed form must equal an independently walked window replay."""
+
+    @pytest.mark.parametrize("nb", [CON_0, CON_4, CON_8, CON_24, COLUMN_9],
+                             ids=lambda nb: nb.name)
+    @pytest.mark.parametrize("scan", list(ScanOrder),
+                             ids=lambda scan: scan.value)
+    def test_matches_walked_reference(self, nb, scan):
+        for width, height in [(1, 1), (1, 7), (7, 1), (2, 2), (12, 8),
+                              (5, 33), (9, 9)]:
+            assert (nb.serpentine_reads(width, height, scan)
+                    == _walked_reads(nb, width, height, scan)), (
+                f"{nb.name} {width}x{height} {scan}")
+
+    def test_table2_law_qcif_style(self):
+        """CON_8 horizontal reads plus the per-pixel writes give the
+        ``4 * pixels + 6`` total the memory benchmark checks at QCIF."""
+        w, h = 12, 8
+        assert CON_8.serpentine_reads(w, h) + w * h == 4 * w * h + 6
+
+    @given(width=st.integers(1, 20), height=st.integers(1, 20))
+    def test_line_ranges_sum_to_total(self, width, height):
+        for scan in ScanOrder:
+            lines = height if scan is ScanOrder.HORIZONTAL else width
+            for strip in [1, 3, lines]:
+                total = sum(
+                    CON_8.serpentine_reads_in_lines(
+                        l0, min(strip, lines - l0), width, height, scan)
+                    for l0 in range(0, lines, strip))
+                assert total == CON_8.serpentine_reads(width, height, scan)
+
+    def test_rejects_degenerate_plane(self):
+        with pytest.raises(ValueError):
+            CON_8.serpentine_reads(0, 5)
+        with pytest.raises(ValueError):
+            CON_8.serpentine_reads(5, -1)
+
+    def test_rejects_out_of_range_line_run(self):
+        with pytest.raises(ValueError):
+            CON_8.serpentine_reads_in_lines(6, 3, 12, 8)
+        with pytest.raises(ValueError):
+            CON_8.serpentine_reads_in_lines(-1, 2, 12, 8)

@@ -10,10 +10,11 @@ import numpy as np
 import pytest
 
 from repro.addresslib import (COLUMN_9, CON_0, CON_4, CON_8, CON_24,
-                              ChannelSet, CountedExecutor,
-                              INTER_ABSDIFF, INTER_ADD, INTRA_COPY,
-                              INTRA_ERODE, INTRA_GRAD, INTRA_OPS,
-                              ScanOrder, SoftwareCostModel, VectorExecutor,
+                              COUNTED_EXECUTOR_KINDS, ChannelSet,
+                              CountedExecutor, INTER_ABSDIFF, INTER_ADD,
+                              INTRA_COPY, INTRA_ERODE, INTRA_GRAD,
+                              INTRA_OPS, ScanOrder, SoftwareCostModel,
+                              VectorExecutor, counted_executor,
                               neighbourhood_stack,
                               neighbourhood_stack_shifted,
                               serpentine_positions)
@@ -129,43 +130,46 @@ class TestVectorVsCountedResults:
         assert np.array_equal(dst.plane(Channel.Y), vector.y)
 
 
+@pytest.mark.parametrize("kind", COUNTED_EXECUTOR_KINDS)
 class TestAccessCounts:
-    def test_inter_y_three_per_pixel(self):
+    """Access-count laws hold for the scalar walk *and* the strip path."""
+
+    def test_inter_y_three_per_pixel(self, kind):
         a = noise_frame(FMT, seed=38)
         pa = PlanarFrame420.from_frame(a)
         pb = PlanarFrame420.from_frame(a, pa.counter)
         out = PlanarFrame420(FMT, pa.counter)
-        CountedExecutor().inter(INTER_ABSDIFF, pa, pb, out)
+        counted_executor(kind).inter(INTER_ABSDIFF, pa, pb, out)
         assert pa.counter.total == 3 * FMT.pixels
 
-    def test_intra_con0_two_per_pixel(self):
+    def test_intra_con0_two_per_pixel(self, kind):
         frame = noise_frame(FMT, seed=39)
         src, dst = planar_pair(frame)
-        CountedExecutor().intra(INTRA_COPY, src, dst)
+        counted_executor(kind).intra(INTRA_COPY, src, dst)
         assert src.counter.total == 2 * FMT.pixels
 
-    def test_intra_con8_steady_state_four_per_pixel(self):
+    def test_intra_con8_steady_state_four_per_pixel(self, kind):
         """3 fresh reads + 1 write per step; only the very first window
         pays the full 9-pixel fill (+6 accesses overall)."""
         frame = noise_frame(FMT, seed=40)
         src, dst = planar_pair(frame)
-        CountedExecutor().intra(INTRA_GRAD, src, dst)
+        counted_executor(kind).intra(INTRA_GRAD, src, dst)
         assert src.counter.total == 4 * FMT.pixels + 6
 
-    def test_intra_con8_yuv_adds_half(self):
+    def test_intra_con8_yuv_adds_half(self, kind):
         """4:2:0 chroma planes add a quarter of the luma traffic each."""
         frame = noise_frame(FMT, seed=41)
         src, dst = planar_pair(frame)
-        CountedExecutor().intra(INTRA_GRAD, src, dst, ChannelSet.YUV)
+        counted_executor(kind).intra(INTRA_GRAD, src, dst, ChannelSet.YUV)
         luma_only = 4 * FMT.pixels + 6
         chroma = 2 * (4 * (FMT.pixels // 4) + 6)
         assert src.counter.total == luma_only + chroma
 
-    def test_counted_matches_analytic_up_to_window_fill(self):
+    def test_counted_matches_analytic_up_to_window_fill(self, kind):
         model = SoftwareCostModel()
         frame = noise_frame(FMT, seed=42)
         src, dst = planar_pair(frame)
-        CountedExecutor().intra(INTRA_GRAD, src, dst)
+        counted_executor(kind).intra(INTRA_GRAD, src, dst)
         ideal = model.intra_accesses(INTRA_GRAD, FMT)
         assert 0 <= src.counter.total - ideal <= 3 * CON_8.size
 

@@ -15,8 +15,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.addresslib import (AddressLib, CON_4, CountedExecutor,
-                              INTER_OPS, INTRA_OPS, SoftwareCostModel,
+from repro.addresslib import (AddressLib, CON_4, COUNTED_EXECUTOR_KINDS,
+                              CountedExecutor, INTER_OPS, INTRA_OPS,
+                              SoftwareCostModel, counted_executor,
                               luma_delta_criterion)
 from repro.core import (AddressEngine, SegmentCallConfig, SegmentUnit,
                         inter_config, intra_config)
@@ -183,15 +184,16 @@ class TestSegmentProperties:
 
 
 class TestAccessCountLaw:
-    @given(geometry=geometries, seed=seeds)
+    @given(geometry=geometries, seed=seeds,
+           kind=st.sampled_from(COUNTED_EXECUTOR_KINDS))
     @settings(max_examples=10, deadline=None)
-    def test_counted_con8_follows_4n_plus_fill(self, geometry, seed):
+    def test_counted_con8_follows_4n_plus_fill(self, geometry, seed, kind):
         fmt = fmt_of(geometry)
         frame = noise_frame(fmt, seed=seed)
         from repro.addresslib import INTRA_HOMOGENEITY
         src = PlanarFrame420.from_frame(frame)
         dst = PlanarFrame420(fmt, src.counter)
-        CountedExecutor().intra(INTRA_HOMOGENEITY, src, dst)
+        counted_executor(kind).intra(INTRA_HOMOGENEITY, src, dst)
         assert src.counter.total == 4 * fmt.pixels + 6
 
     @given(geometry=geometries)
