@@ -1,10 +1,11 @@
 """Experiment SERVICE -- open-loop load sweep through the front end.
 
-A seeded Poisson arrival process offers QCIF gradient calls to an
-:class:`~repro.service.EngineService` at three fractions of the modeled
-engine capacity (underload, near-saturation, overload).  Everything is
-measured on the modeled clock, so the sweep is deterministic and
-machine-independent.
+A seeded Poisson arrival trace (:mod:`repro.load`) offers QCIF gradient
+calls to an :class:`~repro.service.EngineService` at three fractions of
+the modeled engine capacity (underload, near-saturation, overload),
+replayed through the blessed serial pump
+(:func:`repro.load.replay_serial`).  Everything is measured on the
+modeled clock, so the sweep is deterministic and machine-independent.
 
 What must hold:
 
@@ -19,16 +20,13 @@ Results land in ``BENCH_service.json`` at the repo root.
 
 import json
 import pathlib
-import random
 
-from repro.addresslib import BatchCall, INTRA_GRAD
-from repro.api import AdmissionPolicy, EngineService, SubmitOptions
-from repro.image import ImageFormat, noise_frame
+from repro.api import AdmissionPolicy, EngineService
+from repro.load import (ArrivalTrace, CallFactory, TenantSpec, TraceSpec,
+                        replay_serial)
 from repro.perf import format_table
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-
-QCIF = ImageFormat("QCIF", 176, 144)
 
 REQUESTS = 120
 LOAD_LEVELS = (0.5, 0.9, 1.5)
@@ -38,36 +36,34 @@ BUDGET_CALLS = 20.0
 SEED = 0x5E2F
 
 
-def _sweep_call(rng):
-    return BatchCall.intra(INTRA_GRAD,
-                           noise_frame(QCIF, seed=rng.randrange(16)))
+def _base_spec(rate_per_s):
+    """QCIF intra-gradient single-tenant trace (the PR-5 sweep mix)."""
+    return TraceSpec(
+        requests=REQUESTS, rate_per_s=rate_per_s,
+        tenants=(TenantSpec("sweep"),), seed=SEED, width=176,
+        height=144, frame_pool=16, inter_fraction=0.0,
+        intra_ops=("intra_grad",))
 
 
-def _run_level(load, call_cost):
-    """Serve REQUESTS Poisson arrivals at ``load`` x capacity."""
-    rng = random.Random(SEED)
+def _run_level(base, load, call_cost):
+    """Serve the trace re-timed to ``load`` x capacity."""
     service = EngineService(
         queue_depth=256,
         policy=AdmissionPolicy(
             deadline_budget_seconds=BUDGET_CALLS * call_cost))
-    rate = load / call_cost  # capacity is 1/cost calls per second
-    arrival = 0.0
-    for _ in range(REQUESTS):
-        arrival += rng.expovariate(rate)
-        service.run_until(arrival)
-        service.submit(_sweep_call(rng),
-                       SubmitOptions(arrival_seconds=arrival))
-    report = service.drain()
+    result = replay_serial(base.scaled(load), service,
+                           load_factor=load)
+    report = result.service
     return {
         "load": load,
-        "offered_rate_per_s": rate,
+        "offered_rate_per_s": result.offered_rate_per_s,
         "submitted": report.submitted,
-        "completed": report.completed,
-        "rejected": report.rejected,
+        "completed": result.completed,
+        "rejected": result.rejected,
         "reject_rate": report.reject_rate,
-        "throughput_per_s": report.completed / report.clock_seconds,
-        "p50_ms": report.latency.p50 * 1e3,
-        "p95_ms": report.latency.p95 * 1e3,
+        "throughput_per_s": result.goodput_per_s,
+        "p50_ms": result.modeled_latency.p50 * 1e3,
+        "p95_ms": result.modeled_latency.p95 * 1e3,
         "queue_high_water": report.queue_high_water,
         "waves": report.waves,
         "coalesced_requests": report.coalesced_requests,
@@ -76,11 +72,15 @@ def _run_level(load, call_cost):
 
 def test_service_load_sweep(save_report):
     probe = EngineService()
+    calibration = ArrivalTrace.synthesize(_base_spec(1.0))
+    factory = CallFactory(calibration)
     call_cost = probe.admission.price(
-        _sweep_call(random.Random(SEED)))[1]
+        factory.call(calibration.entries[0]))[1]
     capacity = 1.0 / call_cost
+    base = ArrivalTrace.synthesize(_base_spec(capacity))
 
-    levels = [_run_level(load, call_cost) for load in LOAD_LEVELS]
+    levels = [_run_level(base, load, call_cost)
+              for load in LOAD_LEVELS]
     under, near, over = levels
 
     # Everything offered below capacity is served...

@@ -14,6 +14,12 @@ callers) but first-party code must not regrow them.  This script walks
 * R3 -- ``<obj>.submit(...)`` with more than three positional
   arguments (the widest modern form is the driver's
   ``submit(config, frame, options)``).
+* R4 -- a hand-rolled closed-loop replay pump: ``<obj>.run_until(...)``
+  and ``<obj>.submit(...)`` on the *same* receiver inside one loop
+  body.  PR 9 moved trace replay into :mod:`repro.load`; the one
+  blessed pump is ``repro.load.runner.replay_serial`` (allowlisted
+  below) and everything else should call it (or the asyncio facade)
+  instead of re-growing a private loop.
 
 Run from the repo root (CI does)::
 
@@ -24,12 +30,14 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 ROOT = Path(__file__).resolve().parent.parent
-SCAN_DIRS = ("src", "benchmarks")
+SCAN_DIRS = ("src", "benchmarks", "scripts")
 DEPRECATED_KEYWORDS = frozenset(
     {"priority", "deadline_seconds", "max_retries", "arrival_seconds"})
+#: Files allowed to hand-roll the run_until+submit pump (rule R4).
+R4_ALLOWLIST = frozenset({Path("src/repro/load/runner.py")})
 
 Violation = Tuple[Path, int, str, str]
 
@@ -72,6 +80,42 @@ def _check_call(node: ast.Call, path: Path,
              f"options)"))
 
 
+def _receiver_key(node: ast.expr) -> Optional[str]:
+    """A stable dotted key for a method call's receiver, or ``None``
+    for receivers too dynamic to compare (calls, subscripts...)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _receiver_key(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _check_loop_pump(loop: ast.AST, path: Path,
+                     violations: List[Violation]) -> None:
+    """Rule R4: run_until + submit on one receiver in one loop body."""
+    run_until_on = set()
+    submit_at = []
+    for node in ast.walk(loop):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        receiver = _receiver_key(node.func.value)
+        if receiver is None:
+            continue
+        if node.func.attr == "run_until":
+            run_until_on.add(receiver)
+        elif node.func.attr == "submit":
+            submit_at.append((receiver, node.lineno))
+    for receiver, lineno in submit_at:
+        if receiver in run_until_on:
+            violations.append(
+                (path, lineno, "R4",
+                 f"hand-rolled replay pump: {receiver}.run_until and "
+                 f"{receiver}.submit in one loop body; use "
+                 f"repro.load.replay_serial / replay_async"))
+
+
 def main() -> int:
     violations: List[Violation] = []
     checked = 0
@@ -84,9 +128,16 @@ def main() -> int:
                                f"file does not parse: {exc.msg}"))
             continue
         checked += 1
+        r4_exempt = path.relative_to(ROOT) in R4_ALLOWLIST
         for node in ast.walk(tree):
             if isinstance(node, ast.Call):
                 _check_call(node, path, violations)
+            elif (not r4_exempt
+                  and isinstance(node, (ast.For, ast.AsyncFor,
+                                        ast.While))):
+                _check_loop_pump(node, path, violations)
+    # Nested loops are walked once per enclosing loop: dedupe.
+    violations = list(dict.fromkeys(violations))
     for path, lineno, rule, message in violations:
         rel = path.relative_to(ROOT)
         print(f"{rel}:{lineno}: [{rule}] {message}")

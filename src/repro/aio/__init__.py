@@ -1,0 +1,19 @@
+"""Async streaming front end over the serving stack (``repro.aio``).
+
+An :class:`AsyncEngineClient` wraps one
+:class:`~repro.service.EngineService` in an asyncio facade: awaitable
+tickets, a background wave-dispatch task, a streaming completion
+iterator, and backpressure that suspends producers while the bounded
+request queue is at depth.  Execution and the modeled clock underneath
+are the synchronous stack's, so results stay bit-exact with serial
+submission and trace replays stay deterministic.  See ``docs/LOAD.md``
+and the async quickstart in ``docs/SERVICE.md``.
+"""
+
+from .client import AsyncEngineClient, AsyncTicket, CompletionStream
+
+__all__ = [
+    "AsyncEngineClient",
+    "AsyncTicket",
+    "CompletionStream",
+]

@@ -1,0 +1,442 @@
+"""AsyncEngineClient: the asyncio facade over the serving stack.
+
+:class:`~repro.service.EngineService` is a blocking ``submit()`` /
+``drain()`` pair: tickets resolve only when the caller pumps the
+dispatch loop itself.  That shape cannot serve concurrent producers --
+nothing suspends, nothing streams, a full queue can only reject.  This
+module wraps one service (and therefore one
+:class:`~repro.pool.EnginePool`) in an asyncio front end with the three
+behaviours real serving needs:
+
+* **Awaitable tickets** -- ``ticket = await client.submit(call, opts)``
+  returns an :class:`AsyncTicket`; ``await ticket`` suspends until the
+  request's wave retires and evaluates to the call's functional result
+  (bit-exact with serial submission -- execution underneath is the same
+  vector executor on the same pool).
+* **Background dispatch** -- a single asyncio task steps the service
+  one micro-batched wave at a time whenever work is queued, yielding
+  to the event loop between waves, so completions stream out while
+  producers are still submitting.
+* **Backpressure** -- when the bounded
+  :class:`~repro.service.RequestQueue` is at depth, ``submit`` suspends
+  the producer on the queue's space-listener wake path instead of
+  rejecting; admission *policy* rejections (``OVERLOAD``) still come
+  back as resolved tickets, because shedding over-budget work is a
+  serving decision, not a capacity accident.
+
+Time stays *modeled*: arrivals carried in
+:attr:`~repro.api.SubmitOptions.arrival_seconds` advance the same
+deterministic virtual clock the synchronous path uses, so a fixed
+trace replayed through this facade produces machine-independent books.
+Wall-clock timestamps are kept alongside (``wall_submit_seconds`` /
+``wall_resolve_seconds`` on the ticket) for the load harness's real
+latency percentiles.
+
+Typical flow::
+
+    async with AsyncEngineClient(service) as client:
+        tickets = [await client.submit(call) for call in calls]
+        results = [await t for t in tickets]
+
+Streaming::
+
+    async for ticket in client.completions():
+        handle(ticket.result())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import (TYPE_CHECKING, Dict, Generator, List, Optional,
+                    Union)
+
+from ..addresslib.library import BatchCall
+from ..image.frame import Frame
+from ..service.engine_service import EngineService, ServiceReport
+from ..service.request import ServiceError, ServiceTicket
+
+if TYPE_CHECKING:
+    from ..api import SubmitOptions
+
+#: Sentinel closing a completion stream (pushed on client shutdown).
+_END_OF_STREAM = object()
+
+
+class AsyncTicket:
+    """One submission's awaitable handle.
+
+    Wraps the synchronous :class:`~repro.service.ServiceTicket` and an
+    :class:`asyncio.Future` the dispatch loop resolves when the
+    request's wave retires (or the request is rejected / times out).
+    ``await ticket`` gives the functional result and raises
+    :class:`~repro.service.ServiceError` for a request that never
+    completed; ``await ticket.wait()`` never raises -- it returns the
+    resolved underlying ticket for callers (like the load harness)
+    that account rejections rather than treat them as errors.
+    """
+
+    def __init__(self, ticket: ServiceTicket,
+                 future: "asyncio.Future[ServiceTicket]") -> None:
+        self.ticket = ticket
+        self._future = future
+        #: Wall clock (``time.perf_counter``) at submission.
+        self.wall_submit_seconds = time.perf_counter()
+        #: Wall clock when the dispatch loop resolved the ticket.
+        self.wall_resolve_seconds: Optional[float] = None
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def request_id(self) -> int:
+        return self.ticket.request_id
+
+    @property
+    def done(self) -> bool:
+        return self.ticket.done
+
+    @property
+    def accepted(self) -> bool:
+        return self.ticket.accepted
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """Modeled end-to-end latency (``None`` until completed)."""
+        return self.ticket.latency_seconds
+
+    @property
+    def wall_latency_seconds(self) -> Optional[float]:
+        """Wall seconds from submission to resolution."""
+        if self.wall_resolve_seconds is None:
+            return None
+        return self.wall_resolve_seconds - self.wall_submit_seconds
+
+    def result(self) -> Union[Frame, int]:
+        """The resolved result; raises :class:`ServiceError` unless
+        the request completed (same contract as the sync ticket)."""
+        return self.ticket.result()
+
+    # -- awaiting -------------------------------------------------------------
+
+    async def wait(self) -> ServiceTicket:
+        """Suspend until resolved; returns the underlying ticket
+        whatever its outcome (completed, rejected, or timed out)."""
+        return await asyncio.shield(self._future)
+
+    async def _awaited_result(self) -> Union[Frame, int]:
+        await self.wait()
+        return self.ticket.result()
+
+    def __await__(self) -> Generator[object, None, Union[Frame, int]]:
+        return self._awaited_result().__await__()
+
+    def _resolve(self) -> None:
+        if not self._future.done():
+            self.wall_resolve_seconds = time.perf_counter()
+            self._future.set_result(self.ticket)
+
+    def _fail(self, exc: BaseException) -> None:
+        if not self._future.done():
+            self.wall_resolve_seconds = time.perf_counter()
+            self._future.set_exception(exc)
+
+
+class AsyncEngineClient:
+    """Asyncio front end over one :class:`EngineService`.
+
+    The client does not own the service (close the pool through the
+    service/pool context managers as usual); it owns only the dispatch
+    task and the ticket futures.  Use as an async context manager, or
+    call :meth:`start` / :meth:`close` explicitly.
+
+    ``backpressure=False`` restores the synchronous queue behaviour
+    (full queue -> immediate ``QUEUE_FULL`` rejection) for callers that
+    prefer explicit shedding over producer suspension.
+    """
+
+    def __init__(self, service: EngineService, *,
+                 backpressure: bool = True) -> None:
+        self.service = service
+        self.backpressure = backpressure
+        #: Submits that suspended at least once on a full queue.
+        self.backpressure_waits = 0
+        #: Wall seconds producers spent suspended on the queue.
+        self.backpressure_wall_seconds = 0.0
+        self._tickets: Dict[int, AsyncTicket] = {}
+        self._resolved_unsettled: List[AsyncTicket] = []
+        self._streams: List["asyncio.Queue[object]"] = []
+        self._outstanding = 0
+        self._dispatch_task: Optional["asyncio.Task[None]"] = None
+        self._work: Optional[asyncio.Event] = None
+        self._space: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Attach to the running event loop and start dispatching."""
+        if self._dispatch_task is not None:
+            return
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._work = asyncio.Event()
+        self._space = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.service.queue.add_space_listener(self._on_queue_space)
+        self.service.on_resolved = self._on_resolved
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+
+    async def close(self) -> None:
+        """Stop the dispatch loop and end every completion stream.
+
+        Unresolved tickets are failed with :class:`ServiceError` --
+        closing a client with work in flight is an abandonment, and a
+        silent never-resolving future would hang its awaiter forever.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+            self._dispatch_task = None
+            self.service.queue.remove_space_listener(self._on_queue_space)
+            self.service.on_resolved = None
+        for ticket in list(self._tickets.values()):
+            ticket._fail(ServiceError(
+                f"client closed with request {ticket.request_id} "
+                f"unresolved"))
+        self._tickets.clear()
+        for stream in self._streams:
+            stream.put_nowait(_END_OF_STREAM)
+
+    async def __aenter__(self) -> "AsyncEngineClient":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(self, call: BatchCall,
+                     options: Optional["SubmitOptions"] = None
+                     ) -> AsyncTicket:
+        """Offer one call; suspends under backpressure, never blocks
+        the event loop.
+
+        The returned :class:`AsyncTicket` is already resolved for
+        admission rejections (``OVERLOAD``, or ``QUEUE_FULL`` with
+        ``backpressure=False``); otherwise it resolves when the
+        background loop retires the request's wave.
+        ``options.arrival_seconds`` paces the modeled clock exactly as
+        the synchronous open-loop replay does: waves startable before
+        the arrival are dispatched first, so admission sees the same
+        modeled backlog either way.
+        """
+        self.start()
+        if self._closed:
+            raise ServiceError("client is closed")
+        if options is not None and options.arrival_seconds is not None:
+            # Same pacing as the serial path's run_until-then-submit:
+            # deterministic, machine-independent admission decisions.
+            self.service.run_until(options.arrival_seconds)
+            self._settle()
+        if self.backpressure:
+            await self._wait_for_space()
+        ticket = self.service.submit(call, options)
+        future: "asyncio.Future[ServiceTicket]" = (
+            asyncio.get_running_loop().create_future())
+        async_ticket = AsyncTicket(ticket, future)
+        if ticket.done:
+            # Rejected at admission: resolve immediately and stream it,
+            # so reject accounting rides the same completion path.
+            async_ticket._resolve()
+            self._push_to_streams(async_ticket)
+        else:
+            self._tickets[ticket.request_id] = async_ticket
+            self._outstanding += 1
+            assert self._idle is not None and self._work is not None
+            self._idle.clear()
+            self._work.set()
+        return async_ticket
+
+    async def _wait_for_space(self) -> None:
+        """Suspend until the bounded queue has a slot.
+
+        Several producers may be parked here; the queue's space
+        listener wakes them all and each re-checks -- losers go back to
+        waiting, so FIFO-within-priority never depends on wake order.
+        """
+        assert self._space is not None and self._work is not None
+        waited = False
+        wall_start = 0.0
+        while not self.service.queue.has_space:
+            if not waited:
+                waited = True
+                self.backpressure_waits += 1
+                wall_start = time.perf_counter()
+            # A full queue can only drain through the dispatch loop.
+            self._work.set()
+            self._space.clear()
+            await self._space.wait()
+        if waited:
+            self.backpressure_wall_seconds += (
+                time.perf_counter() - wall_start)
+
+    def release(self, ticket: AsyncTicket) -> None:
+        """Drop the service-side record of a resolved ticket (see
+        :meth:`EngineService.release`) -- the memory valve a
+        million-request replay needs."""
+        self.service.release(ticket.ticket)
+
+    # -- streaming ------------------------------------------------------------
+
+    def completions(self) -> "CompletionStream":
+        """Open a stream of tickets in resolution order.
+
+        Every resolved ticket is streamed -- completions, rejections
+        and timeouts alike (the consumer is the natural place for
+        reject accounting).  Registration is *eager*: tickets resolving
+        after this call is made are never missed, even if the consumer
+        task has not started iterating yet -- which is why this is a
+        plain method, not an async generator.  The stream ends when the
+        client closes; a consumer leaving early should ``await
+        stream.aclose()`` (or use ``async with``) so the client stops
+        buffering for it.
+        """
+        return CompletionStream(self)
+
+    # -- draining -------------------------------------------------------------
+
+    async def drain(self) -> ServiceReport:
+        """Suspend until every accepted request has resolved; returns
+        the service books (the async analogue of ``drain()``)."""
+        self.start()
+        assert self._idle is not None and self._work is not None
+        while self.service.queue or self._outstanding:
+            self._work.set()
+            # Yield so the dispatch task runs even when the idle event
+            # is already set (work submitted behind the client's back).
+            await asyncio.sleep(0)
+            await self._idle.wait()
+        return self.service.drain()
+
+    # -- dispatch internals ---------------------------------------------------
+
+    def _on_queue_space(self) -> None:
+        if self._space is not None:
+            self._space.set()
+
+    def _on_resolved(self, ticket: ServiceTicket) -> None:
+        """Service hook: one ticket left the QUEUED state."""
+        async_ticket = self._tickets.pop(ticket.request_id, None)
+        if async_ticket is not None:
+            self._outstanding -= 1
+            self._resolved_unsettled.append(async_ticket)
+
+    def _settle(self) -> None:
+        """Resolve futures and feed streams for freshly retired work."""
+        if not self._resolved_unsettled:
+            self._maybe_idle()
+            return
+        batch, self._resolved_unsettled = self._resolved_unsettled, []
+        for async_ticket in batch:
+            async_ticket._resolve()
+            self._push_to_streams(async_ticket)
+        self._maybe_idle()
+
+    def _maybe_idle(self) -> None:
+        if self._idle is not None and self._outstanding == 0:
+            self._idle.set()
+
+    def _push_to_streams(self, async_ticket: AsyncTicket) -> None:
+        for stream in self._streams:
+            stream.put_nowait(async_ticket)
+
+    async def _dispatch_loop(self) -> None:
+        """One wave per iteration, a yield between waves.
+
+        The yield is the streaming contract: consumers awaiting
+        completions (and producers awaiting space) run between waves,
+        not after a full drain.  On an unrecoverable pool error every
+        in-flight future is failed with the exception -- a dead pool
+        must never strand an awaiter.
+        """
+        assert self._work is not None
+        while True:
+            await self._work.wait()
+            if not self.service.queue:
+                self._work.clear()
+                self._maybe_idle()
+                continue
+            try:
+                self.service.step()
+            except Exception as exc:
+                for async_ticket in list(self._tickets.values()):
+                    async_ticket._fail(exc)
+                self._tickets.clear()
+                self._outstanding = 0
+                self._settle()
+                # The loop is dead; further submits must not hang on a
+                # dispatcher that will never step again.
+                self._closed = True
+                for stream in self._streams:
+                    stream.put_nowait(_END_OF_STREAM)
+                raise
+            self._settle()
+            await asyncio.sleep(0)
+
+
+class CompletionStream:
+    """An eagerly-registered async iterator over resolved tickets.
+
+    Created by :meth:`AsyncEngineClient.completions`; buffering starts
+    at creation, so a consumer can open the stream, hand it to a task,
+    and submit immediately without racing the task's first iteration.
+    Iteration ends when the client closes; :meth:`aclose` (or ``async
+    with``) detaches early so an abandoned stream stops buffering.
+    """
+
+    def __init__(self, client: AsyncEngineClient) -> None:
+        self._client = client
+        self._queue: "asyncio.Queue[object]" = asyncio.Queue()
+        client._streams.append(self._queue)
+        if client._closed:
+            self._queue.put_nowait(_END_OF_STREAM)
+        self._ended = False
+
+    def __aiter__(self) -> "CompletionStream":
+        return self
+
+    async def __anext__(self) -> AsyncTicket:
+        if self._ended:
+            raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is _END_OF_STREAM:
+            self._detach()
+            raise StopAsyncIteration
+        assert isinstance(item, AsyncTicket)
+        return item
+
+    async def aclose(self) -> None:
+        """Detach from the client; safe to call more than once."""
+        self._detach()
+
+    async def __aenter__(self) -> "CompletionStream":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self._detach()
+
+    def _detach(self) -> None:
+        if not self._ended:
+            self._ended = True
+            if self._queue in self._client._streams:
+                self._client._streams.remove(self._queue)

@@ -28,6 +28,12 @@ Typical serving setup::
     ticket = service.submit(call, options=SubmitOptions(
         priority=Priority.INTERACTIVE, deadline_seconds=0.030,
         tenant="viewfinder"))
+
+Async serving (:mod:`repro.aio`) rides the same options object::
+
+    async with AsyncEngineClient(service) as client:
+        ticket = await client.submit(call, options)
+        frame = await ticket
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 from .addresslib.library import (AddressLib, BatchCall, CallLog,
                                  SoftwareBackend)
+from .aio import AsyncEngineClient, AsyncTicket, CompletionStream
 from .host.backend import EngineBackend
 from .host.driver import AddressEngineDriver, FrameResidencyCache
 from .host.scheduler import BatchReport, CallScheduler
@@ -116,10 +123,13 @@ __all__ = [
     "AddressLib",
     "AdmissionController",
     "AdmissionPolicy",
+    "AsyncEngineClient",
+    "AsyncTicket",
     "BatchCall",
     "BatchReport",
     "CallLog",
     "CallScheduler",
+    "CompletionStream",
     "EngineBackend",
     "EnginePool",
     "EngineService",

@@ -1,0 +1,29 @@
+"""Trace-driven open-loop load generation (``repro.load``).
+
+Synthesizes seeded multi-tenant arrival traces
+(:class:`~repro.load.trace.ArrivalTrace`: Poisson streams with optional
+on/off bursts, JSON-replayable, re-timeable with ``scaled()``), replays
+them against an :class:`~repro.service.EngineService` serially or
+through the asyncio facade (:mod:`repro.aio`), and cuts
+latency/goodput books per level (:class:`~repro.load.report.LoadReport`)
+-- the machinery behind ``BENCH_async.json``.  See ``docs/LOAD.md``.
+"""
+
+from .report import LoadReport, TenantBook, sweep_report_dict
+from .runner import areplay, replay_async, replay_serial
+from .trace import (ArrivalTrace, CallFactory, TenantSpec, TraceEntry,
+                    TraceSpec)
+
+__all__ = [
+    "ArrivalTrace",
+    "CallFactory",
+    "LoadReport",
+    "TenantBook",
+    "TenantSpec",
+    "TraceEntry",
+    "TraceSpec",
+    "areplay",
+    "replay_async",
+    "replay_serial",
+    "sweep_report_dict",
+]

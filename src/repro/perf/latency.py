@@ -83,3 +83,19 @@ class LatencyTracker:
     @property
     def p95(self) -> Optional[float]:
         return self.quantile(95.0)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(99.0)
+
+    def to_dict(self) -> dict:
+        """The percentile book every latency-reporting layer nests:
+        count/mean/p50/p95/p99/max, percentiles ``None`` when empty."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+            "p99_seconds": self.p99,
+            "max_seconds": self.max,
+        }

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
 
 from ..addresslib.library import AddressLib, BatchCall, SoftwareBackend
 from ..host.scheduler import CallScheduler
@@ -49,8 +49,8 @@ from ..pool import EnginePool, PoolReport
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import MicroBatcher
 from .queue import RequestQueue
-from .request import (Priority, RejectReason, RequestState, ServiceRequest,
-                      ServiceTicket)
+from .request import (Priority, RejectReason, RequestState, ServiceError,
+                      ServiceRequest, ServiceTicket)
 
 if TYPE_CHECKING:
     from ..api import SubmitOptions
@@ -121,13 +121,6 @@ class ServiceReport:
         """Schema-conforming books (see ``perf.report``): the shared
         keys plus the serving figures, with the pool's per-board books
         nested under ``pool``."""
-        latency = {
-            "count": self.latency.count,
-            "mean_seconds": self.latency.mean,
-            "p50_seconds": self.latency.p50,
-            "p95_seconds": self.latency.p95,
-            "max_seconds": self.latency.max,
-        }
         return base_report_dict(
             "service",
             calls=self.completed,
@@ -149,7 +142,7 @@ class ServiceReport:
             overlap_efficiency=self.overlap_efficiency,
             reject_rate=self.reject_rate,
             clock_seconds=self.clock_seconds,
-            latency=latency,
+            latency=self.latency.to_dict(),
             calls_by_tenant=dict(self.calls_by_tenant),
             pool=(self.pool.to_dict() if self.pool else None),
         )
@@ -209,6 +202,12 @@ class EngineService:
         self._pending_cost_seconds = 0.0
         self._next_request_id = 0
         self._tickets: Dict[int, ServiceTicket] = {}
+        #: Observer hook: called with every ticket the moment it leaves
+        #: the QUEUED state (completed, rejected, or timed out).  The
+        #: asyncio facade (:mod:`repro.aio`) uses it to resolve
+        #: awaitable tickets without scanning; it must be cheap and
+        #: must not mutate the service reentrantly.
+        self.on_resolved: Optional[Callable[[ServiceTicket], None]] = None
 
     @property
     def busy_until(self) -> float:
@@ -334,6 +333,8 @@ class EngineService:
         by_reason = self.report_data.rejected_by_reason
         by_reason[reason.value] = by_reason.get(reason.value, 0) + 1
         self.pool.account_shed()
+        if self.on_resolved is not None:
+            self.on_resolved(ticket)
 
     # -- dispatch -------------------------------------------------------------
 
@@ -356,10 +357,6 @@ class EngineService:
         for request in survivors:
             serial, overlapped = self.admission.price(request.call)
             self.report_data.modeled_serial_seconds += serial
-            if request.tenant is not None:
-                by_tenant = self.report_data.calls_by_tenant
-                by_tenant[request.tenant] = (
-                    by_tenant.get(request.tenant, 0) + 1)
         wave_end = dispatch.end_seconds
         self.clock = max(self.clock, wave_end)
         self.report_data.busy_seconds += (wave_end
@@ -392,6 +389,8 @@ class EngineService:
         ticket.attempts = request.attempts
         self.report_data.timed_out += 1
         self.pool.account_shed()
+        if self.on_resolved is not None:
+            self.on_resolved(ticket)
         return True
 
     def _complete(self, request: ServiceRequest,
@@ -404,6 +403,17 @@ class EngineService:
         self.report_data.completed += 1
         self.report_data.latency.record(
             wave_end - request.arrival_seconds)
+        # The per-tenant books tally *completions* -- they are bumped
+        # here, nowhere else, so ``calls_by_tenant`` can never drift
+        # from ``completed`` (it used to be tallied separately in the
+        # dispatch loop, which let a wave that died between the two
+        # loops leave tenant tallies with no completion behind them).
+        if request.tenant is not None:
+            by_tenant = self.report_data.calls_by_tenant
+            by_tenant[request.tenant] = (
+                by_tenant.get(request.tenant, 0) + 1)
+        if self.on_resolved is not None:
+            self.on_resolved(ticket)
 
     # -- draining -------------------------------------------------------------
 
@@ -419,11 +429,33 @@ class EngineService:
 
         Always finalises -- a drain that completed zero requests still
         returns a coherent report whose latency percentiles read
-        ``None`` (undefined), never a fake 0.0.
+        ``None`` (undefined) and whose per-tenant books are empty: zero
+        completions means zero per-tenant completions, whatever stale
+        tallies an earlier accounting bug (or a caller poking
+        ``report_data``) may have left behind.
         """
         while self.queue:
             self.step()
+        if self.report_data.completed == 0:
+            self.report_data.calls_by_tenant.clear()
         return self.report()
+
+    def release(self, ticket: ServiceTicket) -> None:
+        """Forget a *resolved* ticket's service-side record.
+
+        The service keeps every ticket (and its result frame) alive so
+        late ``result()`` calls work; a million-request open-loop
+        replay cannot afford that.  Releasing drops the internal
+        request-id entry -- the caller's ticket object still works, the
+        books are untouched, only the service-side reference is gone.
+        Raises :class:`~repro.service.request.ServiceError` for a
+        ticket still in flight (its completion would dangle).
+        """
+        if not ticket.done:
+            raise ServiceError(
+                f"request {ticket.request_id} is still queued; only "
+                f"resolved tickets can be released")
+        self._tickets.pop(ticket.request_id, None)
 
     def report(self) -> ServiceReport:
         """The books so far (live object; drain() returns the same)."""

@@ -6,6 +6,15 @@ never unbounded growth.  An overloaded service that queues without
 bound converts overload into unbounded latency for everyone; a bounded
 queue converts it into fast, explicit backpressure for the marginal
 request, which is the behaviour the admission controller builds on.
+
+The synchronous front end surfaces a full queue as an immediate
+``QUEUE_FULL`` rejection; the asyncio facade (:mod:`repro.aio`)
+instead *suspends* the producer until a slot frees.  The wake signal
+lives here: :meth:`RequestQueue.add_space_listener` registers a
+zero-argument callback fired whenever a pop reopens space in a queue
+that was at depth.  Listeners are notification-only -- they must
+re-check :attr:`has_space` themselves (several producers may race for
+one freed slot) and must not mutate the queue reentrantly.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ class RequestQueue:
             priority: deque() for priority in Priority}
         #: Deepest the queue ever got (capacity-planning signal).
         self.high_water = 0
+        self._space_listeners: List[Callable[[], None]] = []
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._classes.values())
@@ -36,6 +46,39 @@ class RequestQueue:
 
     def depth_of(self, priority: Priority) -> int:
         return len(self._classes[priority])
+
+    @property
+    def has_space(self) -> bool:
+        """Whether :meth:`offer` would currently accept a request."""
+        return len(self) < self.max_depth
+
+    # -- backpressure signaling -----------------------------------------------
+
+    def add_space_listener(self, listener: Callable[[], None]) -> None:
+        """Register a wake callback for the full-to-space transition.
+
+        Fired after any pop that takes a queue *at depth* back below
+        its bound -- the moment a suspended producer could offer again.
+        The callback carries no payload: a woken producer re-checks
+        :attr:`has_space` (another producer may have claimed the slot
+        first) and goes back to waiting if it lost the race.
+        """
+        self._space_listeners.append(listener)
+
+    def remove_space_listener(self,
+                              listener: Callable[[], None]) -> None:
+        """Unregister ``listener``; unknown listeners are a no-op."""
+        try:
+            self._space_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_space(self, depth_before: int) -> None:
+        """Wake listeners when a pop reopened space at the bound."""
+        if (self._space_listeners and depth_before >= self.max_depth
+                and len(self) < self.max_depth):
+            for listener in tuple(self._space_listeners):
+                listener()
 
     def offer(self, request: ServiceRequest) -> Optional[RejectReason]:
         """Enqueue, or explain why not (``None`` means accepted)."""
@@ -58,9 +101,12 @@ class RequestQueue:
 
     def pop_next(self) -> ServiceRequest:
         """Highest-priority oldest request; raises IndexError if empty."""
+        depth_before = len(self)
         for priority in Priority:
             if self._classes[priority]:
-                return self._classes[priority].popleft()
+                request = self._classes[priority].popleft()
+                self._notify_space(depth_before)
+                return request
         raise IndexError("pop from an empty RequestQueue")
 
     def pop_compatible(self, matches: Callable[[ServiceRequest], bool],
@@ -76,6 +122,7 @@ class RequestQueue:
         popped: List[ServiceRequest] = []
         if limit <= 0:
             return popped
+        depth_before = len(self)
         for priority in Priority:
             queue = self._classes[priority]
             if not queue:
@@ -90,6 +137,8 @@ class RequestQueue:
             self._classes[priority] = kept
             if len(popped) >= limit:
                 break
+        if popped:
+            self._notify_space(depth_before)
         return popped
 
     def __iter__(self) -> Iterator[ServiceRequest]:
