@@ -30,7 +30,8 @@ import json
 import os
 import pathlib
 
-from repro.api import AdmissionPolicy, EnginePool, EngineService, Priority
+from repro.api import (AdmissionPolicy, EnginePool, EngineService,
+                       Priority, ServicePolicy)
 from repro.load import (ArrivalTrace, CallFactory, TenantSpec, TraceSpec,
                         replay_async, sweep_report_dict)
 from repro.perf import format_table
@@ -85,8 +86,9 @@ def _measured_capacity_per_s():
         requests=min(REQUESTS, 2048), rate_per_s=1e6, seed=SEED,
         tenants=tenants))
     service = EngineService(pool=EnginePool.of_engines(BOARDS),
-                            queue_depth=QUEUE_DEPTH,
-                            max_batch=MAX_BATCH)
+                            policy=ServicePolicy(
+                                queue_depth=QUEUE_DEPTH,
+                                max_batch=MAX_BATCH))
     report = replay_async(trace, service)
     assert report.completed == len(trace)
     return report.goodput_per_s
@@ -94,9 +96,11 @@ def _measured_capacity_per_s():
 
 def _service(budget_seconds):
     return EngineService(
-        pool=EnginePool.of_engines(BOARDS), queue_depth=QUEUE_DEPTH,
-        max_batch=MAX_BATCH,
-        policy=AdmissionPolicy(deadline_budget_seconds=budget_seconds))
+        pool=EnginePool.of_engines(BOARDS),
+        policy=ServicePolicy(
+            queue_depth=QUEUE_DEPTH, max_batch=MAX_BATCH,
+            admission=AdmissionPolicy(
+                deadline_budget_seconds=budget_seconds)))
 
 
 def test_async_load_sweep(save_report):

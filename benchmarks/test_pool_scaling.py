@@ -25,7 +25,8 @@ import random
 
 from repro.addresslib import (BatchCall, INTER_ABSDIFF, INTRA_BOX3,
                               INTRA_GRAD)
-from repro.api import EnginePool, EngineService, SubmitOptions
+from repro.api import (EnginePool, EngineService, ServicePolicy,
+                       SubmitOptions)
 from repro.image import ImageFormat, noise_frame
 from repro.perf import format_table
 
@@ -55,7 +56,8 @@ def _run_size(size):
     """Drain the whole seeded batch through a ``size``-board pool."""
     calls = _batch(random.Random(SEED))
     service = EngineService(pool=EnginePool.of_engines(size),
-                            queue_depth=CALLS, max_batch=8)
+                            policy=ServicePolicy(queue_depth=CALLS,
+                                                 max_batch=8))
     tickets = [service.submit(call, SubmitOptions(arrival_seconds=0.0))
                for call in calls]
     report = service.drain()

@@ -21,7 +21,7 @@ Results land in ``BENCH_service.json`` at the repo root.
 import json
 import pathlib
 
-from repro.api import AdmissionPolicy, EngineService
+from repro.api import AdmissionPolicy, EngineService, ServicePolicy
 from repro.load import (ArrivalTrace, CallFactory, TenantSpec, TraceSpec,
                         replay_serial)
 from repro.perf import format_table
@@ -48,9 +48,10 @@ def _base_spec(rate_per_s):
 def _run_level(base, load, call_cost):
     """Serve the trace re-timed to ``load`` x capacity."""
     service = EngineService(
-        queue_depth=256,
-        policy=AdmissionPolicy(
-            deadline_budget_seconds=BUDGET_CALLS * call_cost))
+        policy=ServicePolicy(
+            queue_depth=256,
+            admission=AdmissionPolicy(
+                deadline_budget_seconds=BUDGET_CALLS * call_cost)))
     result = replay_serial(base.scaled(load), service,
                            load_factor=load)
     report = result.service

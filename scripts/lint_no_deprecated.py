@@ -20,6 +20,14 @@ callers) but first-party code must not regrow them.  This script walks
   blessed pump is ``repro.load.runner.replay_serial`` (allowlisted
   below) and everything else should call it (or the asyncio facade)
   instead of re-growing a private loop.
+* R5 -- a legacy loose-kwarg service constructor:
+  ``EngineService(queue_depth=..., max_batch=...)`` or
+  ``EngineService(policy=AdmissionPolicy(...))`` (likewise
+  ``AdmissionController``).  The tenancy redesign put every serving
+  knob in one ``repro.api.ServicePolicy``; first-party ``src/`` and
+  ``benchmarks/`` code must pass ``policy=ServicePolicy(...)``.
+  Applies to ``src/`` and ``benchmarks/`` only -- the policy shims
+  themselves (and tests exercising them) are exempt.
 
 Run from the repo root (CI does)::
 
@@ -38,6 +46,12 @@ DEPRECATED_KEYWORDS = frozenset(
     {"priority", "deadline_seconds", "max_retries", "arrival_seconds"})
 #: Files allowed to hand-roll the run_until+submit pump (rule R4).
 R4_ALLOWLIST = frozenset({Path("src/repro/load/runner.py")})
+#: Constructors rule R5 holds to the policy-object form.
+R5_CONSTRUCTORS = frozenset({"EngineService", "AdmissionController"})
+#: Keywords that mark a legacy loose-kwarg service constructor.
+R5_LOOSE_KEYWORDS = frozenset({"queue_depth", "max_batch", "max_depth"})
+#: Directories rule R5 scans (scripts/ may demo the legacy shims).
+R5_DIRS = ("src", "benchmarks")
 
 Violation = Tuple[Path, int, str, str]
 
@@ -78,6 +92,42 @@ def _check_call(node: ast.Call, path: Path,
              f"submit called with {positionals} positional arguments; "
              f"the widest modern form is submit(config, frame, "
              f"options)"))
+
+
+def _check_constructor(node: ast.Call, path: Path,
+                       violations: List[Violation]) -> None:
+    """Rule R5: legacy loose-kwarg EngineService/AdmissionController."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return
+    if name not in R5_CONSTRUCTORS:
+        return
+    loose = sorted(kw.arg for kw in node.keywords
+                   if kw.arg in R5_LOOSE_KEYWORDS)
+    if loose:
+        violations.append(
+            (path, node.lineno, "R5",
+             f"{name} called with legacy keyword(s) "
+             f"{', '.join(loose)}; fold them into "
+             f"policy=ServicePolicy(...)"))
+    for kw in node.keywords:
+        if kw.arg != "policy":
+            continue
+        value = kw.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Name, ast.Attribute))):
+            target = (value.func.id if isinstance(value.func, ast.Name)
+                      else value.func.attr)
+            if target == "AdmissionPolicy":
+                violations.append(
+                    (path, node.lineno, "R5",
+                     f"{name}(policy=AdmissionPolicy(...)) is the "
+                     f"legacy shape; pass policy=ServicePolicy("
+                     f"admission=AdmissionPolicy(...))"))
 
 
 def _receiver_key(node: ast.expr) -> Optional[str]:
@@ -128,10 +178,14 @@ def main() -> int:
                                f"file does not parse: {exc.msg}"))
             continue
         checked += 1
-        r4_exempt = path.relative_to(ROOT) in R4_ALLOWLIST
+        rel = path.relative_to(ROOT)
+        r4_exempt = rel in R4_ALLOWLIST
+        r5_scanned = rel.parts[0] in R5_DIRS
         for node in ast.walk(tree):
             if isinstance(node, ast.Call):
                 _check_call(node, path, violations)
+                if r5_scanned:
+                    _check_constructor(node, path, violations)
             elif (not r4_exempt
                   and isinstance(node, (ast.For, ast.AsyncFor,
                                         ast.While))):

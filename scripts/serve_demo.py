@@ -22,7 +22,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.addresslib import AddressLib
-from repro.api import AdmissionPolicy, EnginePool, EngineService
+from repro.api import (AdmissionPolicy, EnginePool, EngineService,
+                       ServicePolicy)
 from repro.host import EngineBackend
 from repro.image import ImageFormat
 from repro.load import (ArrivalTrace, CallFactory, TenantSpec, TraceSpec,
@@ -51,18 +52,16 @@ def _tenants(args: argparse.Namespace) -> tuple:
 
 
 def _build_service(args: argparse.Namespace) -> EngineService:
-    policy = AdmissionPolicy(
-        deadline_budget_seconds=args.budget_ms * 1e-3)
+    policy = ServicePolicy(
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        admission=AdmissionPolicy(
+            deadline_budget_seconds=args.budget_ms * 1e-3))
     if args.pool:
         return EngineService(
-            pool=EnginePool.of_engines(args.engines),
-            queue_depth=args.queue_depth, max_batch=args.max_batch,
-            policy=policy)
+            pool=EnginePool.of_engines(args.engines), policy=policy)
     lib = AddressLib(EngineBackend()) if args.engine_backend else None
     return EngineService(
-        lib=lib, queue_depth=args.queue_depth,
-        max_batch=args.max_batch, virtual_engines=args.engines,
-        policy=policy)
+        lib=lib, virtual_engines=args.engines, policy=policy)
 
 
 def _build_trace(args: argparse.Namespace) -> ArrivalTrace:

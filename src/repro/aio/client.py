@@ -232,9 +232,13 @@ class AsyncEngineClient:
         the event loop.
 
         The returned :class:`AsyncTicket` is already resolved for
-        admission rejections (``OVERLOAD``, or ``QUEUE_FULL`` with
-        ``backpressure=False``); otherwise it resolves when the
-        background loop retires the request's wave.
+        admission rejections (``OVERLOAD``, ``TENANT_QUOTA``, or
+        ``QUEUE_FULL`` with ``backpressure=False``); otherwise it
+        resolves when the background loop retires the request's wave.
+        Backpressure suspension is tied to *queue depth* only: a tenant
+        at its own :class:`~repro.service.TenantPolicy` quota is shed
+        explicitly (a resolved ``TENANT_QUOTA`` ticket), never parked
+        against capacity it may not be allowed to take.
         ``options.arrival_seconds`` paces the modeled clock exactly as
         the synchronous open-loop replay does: waves startable before
         the arrival are dispatched first, so admission sees the same

@@ -158,6 +158,25 @@ def _unmeetable_deadline() -> Tuple[CallProgram, EngineParams]:
             EngineParams(deadline_cycles=10_000))
 
 
+def _starved_slo() -> Tuple[CallProgram, EngineParams]:
+    """A serving policy whose victim tenant holds 1/10th of the weight
+    behind a 50 ms admission budget but declares a 10 ms p95 target:
+    its fair drain delay can reach 500 ms, so the target is only ever
+    met by shedding its own work (SVC003)."""
+    from ..service.policy import (AdmissionPolicy, ServicePolicy,
+                                  TenantPolicy)
+    program, _ = _serial_chain()
+    policy = ServicePolicy(
+        admission=AdmissionPolicy(deadline_budget_seconds=0.050),
+        tenants={"victim": TenantPolicy(weight=1.0,
+                                        p95_target_seconds=0.010),
+                 "bulk": TenantPolicy(weight=9.0)})
+    return (CallProgram(name="starved_slo", fmt=program.fmt,
+                        inputs=program.inputs, steps=program.steps,
+                        results=program.results),
+            EngineParams(service_policy=policy))
+
+
 def _split_placement() -> Tuple[CallProgram, EngineParams]:
     """The serial chain with its first hand-off pinned across boards:
     grad on board 0, its consumer on board 1 -- the frame would re-ship
@@ -179,6 +198,7 @@ SELFTEST_CASES: Dict[str, Tuple[
     "scheduling": (_serial_chain, "SCH001"),
     "service": (_unmeetable_deadline, "SVC001"),
     "placement": (_split_placement, "SVC002"),
+    "slo": (_starved_slo, "SVC003"),
 }
 
 

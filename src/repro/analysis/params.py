@@ -21,6 +21,7 @@ from ..core.zbt import BANK_WORDS
 
 if TYPE_CHECKING:
     from ..core.engine import AddressEngine
+    from ..service.policy import ServicePolicy
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,9 @@ class EngineParams:
     #: with the program's step order; ``None`` disables the SVC002
     #: affinity check.
     placement_hints: Optional[Tuple[Optional[int], ...]] = None
+    #: The serving policy to vet tenant SLOs against; ``None`` disables
+    #: the SVC003 target-reachability check.
+    service_policy: Optional["ServicePolicy"] = None
 
     @classmethod
     def from_engine(cls, engine: "AddressEngine") -> "EngineParams":

@@ -88,6 +88,9 @@ RULES: Dict[str, Rule] = {r.rule_id: r for r in (
     Rule("SVC002", Severity.WARNING, "service",
          "placement hints split a producer/consumer pair across "
          "boards, defeating residency affinity"),
+    Rule("SVC003", Severity.WARNING, "service",
+         "tenant p95 target unreachable under the admission budget "
+         "and fair-share weights"),
     Rule("SHM001", Severity.ERROR, "transport",
          "source plane mutated while its shipped handle is still in "
          "flight within the wave"),

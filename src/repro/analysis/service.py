@@ -1,4 +1,5 @@
-"""Service-level rules (SVC001/SVC002): deadline and placement posture.
+"""Service-level rules (SVC001-SVC003): deadline, placement, and SLO
+posture.
 
 The service front end (:mod:`repro.service`) admits work against a
 deadline budget using the closed-form timing model.  A call *program*
@@ -81,6 +82,59 @@ def service_rules(program: CallProgram,
                 f"engine workers cannot serve this program inside its "
                 f"deadline"))
     findings.extend(placement_rules(program, params))
+    findings.extend(slo_rules(params))
+    return findings
+
+
+def slo_rules(params: EngineParams) -> List[Diagnostic]:
+    """SVC003: tenant p95 targets the admission budget cannot protect.
+
+    Inert unless the caller declares a serving policy
+    (``EngineParams.service_policy``).  Admission bounds the *global*
+    backlog by the largest class budget; under weighted fair queueing a
+    tenant drains that backlog at its weight share, so the delay its
+    admitted work can legally face is up to ``budget / share``.  A p95
+    target below that figure is only ever "met" by shedding the
+    tenant's own requests -- the static analogue of a retry storm, and
+    worth surfacing before the first request is enqueued.
+    """
+    policy = params.service_policy
+    if policy is None or not policy.tenants:
+        return []
+    from ..service.request import Priority
+    budgets = [policy.admission.budget_for(priority)
+               for priority in Priority]
+    unbounded = any(budget is None for budget in budgets)
+    largest = None if unbounded else max(budgets)  # type: ignore[type-var]
+    total_weight = sum(tenant.weight
+                       for tenant in policy.tenants.values())
+    findings: List[Diagnostic] = []
+    for name, tenant in sorted(policy.tenants.items()):
+        target = tenant.p95_target_seconds
+        if target is None:
+            continue
+        if unbounded:
+            findings.append(_diag(
+                "SVC003",
+                f"tenant {name!r} declares a p95 target of "
+                f"{target * 1e3:.2f} ms but at least one priority class "
+                f"has no admission budget: the admitted backlog is "
+                f"unbounded, so the target can only be held by "
+                f"shedding the tenant's own work"))
+            continue
+        share = (tenant.weight / total_weight
+                 if total_weight > 0.0 else 1.0)
+        assert largest is not None
+        worst = largest / share
+        if worst > target:
+            findings.append(_diag(
+                "SVC003",
+                f"tenant {name!r} holds weight share {share:.3f} of a "
+                f"backlog admission bounds at "
+                f"{largest * 1e3:.2f} ms: its fair drain delay can "
+                f"reach {worst * 1e3:.2f} ms, over the declared p95 "
+                f"target of {target * 1e3:.2f} ms -- the target is "
+                f"only reachable by shedding the tenant's own work"))
     return findings
 
 

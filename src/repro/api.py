@@ -20,11 +20,14 @@ signatures still work but warn with :class:`DeprecationWarning`.
 Typical serving setup::
 
     from repro.api import (EngineService, EnginePool, SubmitOptions,
-                           Priority, AdmissionPolicy, BatchCall)
+                           Priority, AdmissionPolicy, BatchCall,
+                           ServicePolicy, TenantPolicy)
 
     pool = EnginePool.of_engines(4)
-    service = EngineService(pool=pool,
-                            policy=AdmissionPolicy(0.050))
+    service = EngineService(pool=pool, policy=ServicePolicy(
+        admission=AdmissionPolicy(0.050),
+        tenants={"viewfinder": TenantPolicy(weight=2.0,
+                                            p95_target_seconds=0.040)}))
     ticket = service.submit(call, options=SubmitOptions(
         priority=Priority.INTERACTIVE, deadline_seconds=0.030,
         tenant="viewfinder"))
@@ -52,6 +55,7 @@ from .pool import (EnginePool, EngineWorker, LeastLoadedPlacement,
                    RoundRobinPlacement, WaveDispatch)
 from .service.admission import AdmissionController, AdmissionPolicy
 from .service.engine_service import EngineService, ServiceReport
+from .service.policy import ServicePolicy, TenantPolicy
 from .service.request import (Priority, RejectReason, RequestState,
                               ServiceError, ServiceTicket)
 
@@ -144,8 +148,10 @@ __all__ = [
     "ResidencyAffinityPlacement",
     "RoundRobinPlacement",
     "ServiceError",
+    "ServicePolicy",
     "ServiceReport",
     "ServiceTicket",
+    "TenantPolicy",
     "SoftwareBackend",
     "SubmitOptions",
     "WaveDispatch",

@@ -34,12 +34,19 @@ class TenantBook:
     modeled_latency: LatencyTracker = field(
         default_factory=LatencyTracker)
 
+    @property
+    def sheds(self) -> int:
+        """Rejections plus deadline expiries: the shedding this tenant
+        absorbed (the complement of ``completed``)."""
+        return self.rejected + self.timed_out
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "submitted": self.submitted,
             "completed": self.completed,
             "rejected": self.rejected,
             "timed_out": self.timed_out,
+            "sheds": self.sheds,
             "modeled_latency": self.modeled_latency.to_dict(),
         }
 
@@ -179,6 +186,9 @@ class LoadReport:
             requests_per_wall_s=self.requests_per_wall_s,
             tenants={name: book.to_dict()
                      for name, book in sorted(self.tenants.items())},
+            sheds_by_tenant={name: book.sheds
+                             for name, book in sorted(self.tenants.items())
+                             if book.sheds},
             service=(service.to_dict() if service else None),
         )
 

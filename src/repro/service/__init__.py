@@ -13,6 +13,7 @@ from .admission import (AdmissionController, AdmissionPolicy,
                         call_cost_seconds)
 from .batcher import BatchKey, MicroBatcher
 from .engine_service import EngineService, ServiceReport
+from .policy import ServicePolicy, TenantPolicy
 from .queue import RequestQueue
 from .request import (Priority, RejectReason, RequestState, ServiceError,
                       ServiceRequest, ServiceTicket)
@@ -28,8 +29,10 @@ __all__ = [
     "RequestQueue",
     "RequestState",
     "ServiceError",
+    "ServicePolicy",
     "ServiceReport",
     "ServiceRequest",
     "ServiceTicket",
+    "TenantPolicy",
     "call_cost_seconds",
 ]

@@ -18,9 +18,10 @@ randomized corpus the scheduler is held to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..addresslib.library import BatchCall
+from .policy import ServicePolicy, coerce_service_policy
 from .queue import RequestQueue
 from .request import ServiceRequest
 
@@ -50,13 +51,25 @@ class BatchKey:
                    reduce_to_scalar=call.reduce_to_scalar)
 
 
-class MicroBatcher:
-    """Forms dispatch waves from the head of the request queue."""
+def _deadline_rank(request: ServiceRequest) -> float:
+    """Followers sort by absolute deadline, undated work last."""
+    deadline = request.absolute_deadline
+    return float("inf") if deadline is None else deadline
 
-    def __init__(self, max_batch: int = 8) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        self.max_batch = max_batch
+
+class MicroBatcher:
+    """Forms dispatch waves from the head of the request queue.
+
+    Configure with ``policy=ServicePolicy(...)``; the pre-tenancy
+    ``max_batch=`` keyword still works but warns with
+    :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, max_batch: Optional[int] = None,
+                 policy: Optional[ServicePolicy] = None) -> None:
+        self.policy = coerce_service_policy(
+            policy, owner="MicroBatcher", legacy={"max_batch": max_batch})
+        self.max_batch = self.policy.max_batch
         #: Waves formed so far.
         self.waves = 0
         #: Requests that rode a wave with at least one companion.
@@ -64,23 +77,31 @@ class MicroBatcher:
 
     def form_wave(self, queue: RequestQueue) -> List[ServiceRequest]:
         """Pop the next wave: the head request plus up to
-        ``max_batch - 1`` compatible followers, in queue order.
+        ``max_batch - 1`` compatible followers.
 
         The head is always the request strict priority order would
         dispatch next, so coalescing never inverts priorities -- it only
-        lets compatible work *join* the head's wave early.  A wave is
-        dispatched to one pool worker whole, so requests only coalesce
-        when their placement hints agree with the head's (two requests
-        pinned to different boards must not share a wave).
+        lets compatible work *join* the head's wave early.  Followers
+        come in queue (drain) order; with
+        ``policy.deadline_aware_batching`` the compatible candidates
+        are instead ranked by absolute deadline (stably, so undated
+        work keeps drain order behind dated work) -- near-deadline
+        requests ride the earliest compatible wave instead of waiting
+        out a full queue pass.  A wave is dispatched to one pool worker
+        whole, so requests only coalesce when their placement hints
+        agree with the head's (two requests pinned to different boards
+        must not share a wave).
         """
         if not queue:
             return []
         head = queue.pop_next()
         key = BatchKey.of(head.call)
+        prefer = (_deadline_rank if self.policy.deadline_aware_batching
+                  else None)
         wave = [head] + queue.pop_compatible(
             lambda request: (BatchKey.of(request.call) == key
                              and request.placement == head.placement),
-            self.max_batch - 1)
+            self.max_batch - 1, prefer=prefer)
         self.waves += 1
         if len(wave) > 1:
             self.coalesced_requests += len(wave)

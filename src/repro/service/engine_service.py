@@ -20,11 +20,13 @@ lands on.
 
 The flow::
 
-    from repro.api import EngineService, EnginePool, SubmitOptions
+    from repro.api import (EngineService, EnginePool, ServicePolicy,
+                           SubmitOptions)
 
     service = EngineService(pool=EnginePool.of_engines(4),
-                            queue_depth=64,
-                            policy=AdmissionPolicy(0.050))
+                            policy=ServicePolicy(
+                                queue_depth=64,
+                                admission=AdmissionPolicy(0.050)))
     ticket = service.submit(BatchCall.intra(INTRA_GRAD, frame),
                             options=SubmitOptions(
                                 priority=Priority.INTERACTIVE,
@@ -46,8 +48,9 @@ from ..perf.latency import LatencyTracker
 from ..perf.report import base_report_dict
 from ..perf.timing import EngineTimingModel
 from ..pool import EnginePool, PoolReport
-from .admission import AdmissionController, AdmissionPolicy
+from .admission import AdmissionController
 from .batcher import MicroBatcher
+from .policy import ServicePolicy, coerce_service_policy
 from .queue import RequestQueue
 from .request import (Priority, RejectReason, RequestState, ServiceError,
                       ServiceRequest, ServiceTicket)
@@ -87,6 +90,10 @@ class ServiceReport:
     clock_seconds: float = 0.0
     #: Completed calls tallied per tenant label (untagged calls absent).
     calls_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: Rejections *and* deadline expiries tallied per tenant label --
+    #: the "who absorbed the shedding" book ``calls_by_tenant`` (a
+    #: completions-only tally) never answered.
+    sheds_by_tenant: Dict[str, int] = field(default_factory=dict)
     #: Per-board books of the pool that served this run.
     pool: Optional[PoolReport] = None
     #: Clock the ``cycles`` figure of :meth:`to_dict` is expressed in.
@@ -144,6 +151,7 @@ class ServiceReport:
             clock_seconds=self.clock_seconds,
             latency=self.latency.to_dict(),
             calls_by_tenant=dict(self.calls_by_tenant),
+            sheds_by_tenant=dict(self.sheds_by_tenant),
             pool=(self.pool.to_dict() if self.pool else None),
         )
 
@@ -164,13 +172,19 @@ class EngineService:
 
     def __init__(self, lib: Optional[AddressLib] = None,
                  scheduler: Optional[CallScheduler] = None,
-                 queue_depth: int = 64,
-                 max_batch: int = 8,
-                 policy: Optional[AdmissionPolicy] = None,
+                 queue_depth: Optional[int] = None,
+                 max_batch: Optional[int] = None,
+                 policy: object = None,
                  admission: Optional[AdmissionController] = None,
                  virtual_engines: Optional[int] = None,
                  timing: Optional[EngineTimingModel] = None,
                  pool: Optional[EnginePool] = None) -> None:
+        #: Every serving knob, in one frozen record.  The legacy
+        #: ``queue_depth=``/``max_batch=``/``policy=AdmissionPolicy``
+        #: spellings are folded in with a :class:`DeprecationWarning`.
+        self.policy: ServicePolicy = coerce_service_policy(
+            policy, owner="EngineService",
+            legacy={"queue_depth": queue_depth, "max_batch": max_batch})
         if pool is not None:
             if lib is not None or scheduler is not None:
                 raise ValueError(
@@ -193,13 +207,16 @@ class EngineService:
                 modeled_engines=self.virtual_engines, timing=self.timing)
         special = self.pool.special_inter_ops
         self.admission = admission or AdmissionController(
-            timing=self.timing, policy=policy, special_inter_ops=special)
-        self.queue = RequestQueue(max_depth=queue_depth)
-        self.batcher = MicroBatcher(max_batch=max_batch)
+            timing=self.timing, policy=self.policy,
+            special_inter_ops=special)
+        self.queue = RequestQueue(policy=self.policy)
+        self.batcher = MicroBatcher(policy=self.policy)
         #: The service's modeled "now": advanced by arrivals and waves.
         self.clock = 0.0
         self.report_data = ServiceReport()
         self._pending_cost_seconds = 0.0
+        self._pending_cost_by_tenant: Dict[Optional[str], float] = {}
+        self._in_flight_by_tenant: Dict[Optional[str], int] = {}
         self._next_request_id = 0
         self._tickets: Dict[int, ServiceTicket] = {}
         #: Observer hook: called with every ticket the moment it leaves
@@ -249,6 +266,9 @@ class EngineService:
         if options.arrival_seconds is not None:
             self.clock = max(self.clock, options.arrival_seconds)
         arrival = self.clock
+        # Every submission -- accepted or shed -- feeds the per-tenant
+        # arrival-rate estimate: it is the *offered* stream being sized.
+        self.admission.observe(options.tenant, self.clock)
         serial_cost, overlapped_cost = self.admission.price(call)
         request = ServiceRequest(
             request_id=self._next_request_id, call=call,
@@ -264,15 +284,25 @@ class EngineService:
         self._tickets[request.request_id] = ticket
         self.report_data.submitted += 1
 
+        cap = self.policy.tenant(request.tenant).max_in_flight
+        if (cap is not None
+                and self._in_flight_by_tenant.get(request.tenant, 0)
+                >= cap):
+            self._reject(ticket, RejectReason.TENANT_QUOTA,
+                         request.tenant)
+            return ticket
         reason = self._admit(request)
         if reason is not None:
-            self._reject(ticket, reason)
+            self._reject(ticket, reason, request.tenant)
             return ticket
         offered = self.queue.offer(request)
         if offered is not None:
-            self._reject(ticket, offered)
+            self._reject(ticket, offered, request.tenant)
             return ticket
         self._pending_cost_seconds += request.estimated_cost_seconds
+        self._add_tenant_pending(request, +1)
+        self._in_flight_by_tenant[request.tenant] = (
+            self._in_flight_by_tenant.get(request.tenant, 0) + 1)
         self.report_data.accepted += 1
         return ticket
 
@@ -322,16 +352,54 @@ class EngineService:
 
     def _admit(self, request: ServiceRequest) -> Optional[RejectReason]:
         alive = len(self.pool.alive()) or 1
-        backlog = (max(0.0, self.busy_until - self.clock)
-                   + self._pending_cost_seconds / alive)
-        return self.admission.admit(request, backlog)
+        busy_tail = max(0.0, self.busy_until - self.clock)
+        backlog = busy_tail + self._pending_cost_seconds / alive
+        tenant_backlog = backlog
+        if self.policy.fair_queueing:
+            # Under WFQ a tenant's work drains at its weight share of
+            # the pool, so the tail *its* next request faces is its own
+            # queued cost expanded by that share -- never more than the
+            # global figure (with one bucket the two coincide exactly,
+            # which is what keeps untagged decisions bit-identical to
+            # the pre-tenancy controller).
+            own = self._pending_cost_by_tenant.get(request.tenant, 0.0)
+            share = self._weight_share(request.tenant)
+            tenant_backlog = busy_tail + min(
+                self._pending_cost_seconds, own / share) / alive
+        return self.admission.admit(request, backlog, tenant_backlog,
+                                    now=self.clock)
 
-    def _reject(self, ticket: ServiceTicket,
-                reason: RejectReason) -> None:
+    def _weight_share(self, tenant: Optional[str]) -> float:
+        """``tenant``'s weight share among tenants with queued work."""
+        active = set(self._pending_cost_by_tenant)
+        active.add(tenant)
+        total = sum(self.policy.weight(name) for name in active)
+        if total <= 0.0:
+            return 1.0
+        return self.policy.weight(tenant) / total
+
+    def _add_tenant_pending(self, request: ServiceRequest,
+                            sign: int) -> None:
+        """Track queued estimated cost per tenant (the WFQ backlog
+        book); entries are pruned at zero so the active-tenant set
+        never accretes float residue."""
+        book = self._pending_cost_by_tenant
+        value = (book.get(request.tenant, 0.0)
+                 + sign * request.estimated_cost_seconds)
+        if abs(value) < 1e-15:
+            book.pop(request.tenant, None)
+        else:
+            book[request.tenant] = value
+
+    def _reject(self, ticket: ServiceTicket, reason: RejectReason,
+                tenant: Optional[str] = None) -> None:
         ticket.state = RequestState.REJECTED
         ticket.reject_reason = reason
         by_reason = self.report_data.rejected_by_reason
         by_reason[reason.value] = by_reason.get(reason.value, 0) + 1
+        if tenant is not None:
+            sheds = self.report_data.sheds_by_tenant
+            sheds[tenant] = sheds.get(tenant, 0) + 1
         self.pool.account_shed()
         if self.on_resolved is not None:
             self.on_resolved(ticket)
@@ -345,6 +413,7 @@ class EngineService:
             return False
         for request in wave:
             self._pending_cost_seconds -= request.estimated_cost_seconds
+            self._add_tenant_pending(request, -1)
         not_before = max(r.effective_arrival_seconds for r in wave)
         start_estimate = max(self.busy_until, not_before)
         survivors = [r for r in wave
@@ -382,16 +451,29 @@ class EngineService:
             request.effective_arrival_seconds = max(start, self.clock)
             self.queue.requeue_front(request)
             self._pending_cost_seconds += request.estimated_cost_seconds
+            self._add_tenant_pending(request, +1)
             self.report_data.retried += 1
             return True
         ticket = self._tickets[request.request_id]
         ticket.state = RequestState.TIMED_OUT
         ticket.attempts = request.attempts
         self.report_data.timed_out += 1
+        self._release_in_flight(request)
+        if request.tenant is not None:
+            sheds = self.report_data.sheds_by_tenant
+            sheds[request.tenant] = sheds.get(request.tenant, 0) + 1
         self.pool.account_shed()
         if self.on_resolved is not None:
             self.on_resolved(ticket)
         return True
+
+    def _release_in_flight(self, request: ServiceRequest) -> None:
+        remaining = (self._in_flight_by_tenant.get(request.tenant, 0)
+                     - 1)
+        if remaining > 0:
+            self._in_flight_by_tenant[request.tenant] = remaining
+        else:
+            self._in_flight_by_tenant.pop(request.tenant, None)
 
     def _complete(self, request: ServiceRequest,
                   result: Union[Frame, int], wave_end: float) -> None:
@@ -400,6 +482,7 @@ class EngineService:
         ticket.outcome = result
         ticket.completion_seconds = wave_end
         ticket.attempts = request.attempts
+        self._release_in_flight(request)
         self.report_data.completed += 1
         self.report_data.latency.record(
             wave_end - request.arrival_seconds)
@@ -438,6 +521,10 @@ class EngineService:
             self.step()
         if self.report_data.completed == 0:
             self.report_data.calls_by_tenant.clear()
+        if self.report_data.rejected + self.report_data.timed_out == 0:
+            # Same stale-tally contract for the shedding book: zero
+            # sheds means zero per-tenant sheds.
+            self.report_data.sheds_by_tenant.clear()
         return self.report()
 
     def release(self, ticket: ServiceTicket) -> None:

@@ -106,7 +106,7 @@ def health_section() -> str:
     """
     from .addresslib import (BatchCall, AddressLib, INTER_ABSDIFF,
                              INTRA_BOX3, INTRA_GRAD)
-    from .api import AdmissionPolicy, EngineService
+    from .api import AdmissionPolicy, EngineService, ServicePolicy
     from .host import EngineBackend
 
     frame = blob_frame(QCIF, [(30, 30), (100, 80)], radius=16)
@@ -119,8 +119,10 @@ def health_section() -> str:
     cache = backend.residency
 
     service = EngineService(
-        lib=lib, virtual_engines=4, max_batch=4,
-        policy=AdmissionPolicy(deadline_budget_seconds=0.02))
+        lib=lib, virtual_engines=4,
+        policy=ServicePolicy(
+            max_batch=4,
+            admission=AdmissionPolicy(deadline_budget_seconds=0.02)))
     for _ in range(12):
         service.submit(BatchCall.intra(INTRA_GRAD, frame))
     report = service.drain()
